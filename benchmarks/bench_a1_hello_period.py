@@ -1,0 +1,65 @@
+"""A1 — Ablation: hello period.
+
+The central configuration trade-off of a beaconing DV protocol: short
+hello periods converge fast and repair quickly but burn airtime; long
+periods are cheap but slow.  DESIGN.md calls this knob out; the firmware
+ships 120 s.
+
+Expected shape: convergence time scales roughly linearly with the hello
+period while control airtime scales inversely.
+"""
+
+from benchmarks.conftest import BENCH_CONFIG
+from repro.experiments.report import print_table
+from repro.experiments.sweep import repeat_seeds
+from repro.net.api import MeshNetwork
+from repro.topology.placement import line_positions
+
+
+def run_period(period_s: float, seed: int):
+    config = BENCH_CONFIG.replace(
+        hello_period_s=period_s,
+        route_timeout_s=max(5 * period_s, 300.0),
+        purge_period_s=period_s / 2,
+    )
+    net = MeshNetwork.from_positions(line_positions(5), config=config, seed=seed, trace_enabled=False)
+    convergence = net.run_until_converged(timeout_s=4 * 3600.0, check_period_s=5.0)
+    if convergence is None:
+        return None
+    # Normalise control cost to a rate: airtime per simulated hour.
+    airtime_rate = net.total_airtime_s() / (net.sim.now / 3600.0)
+    return convergence, airtime_rate
+
+
+def test_a1_hello_period_tradeoff(benchmark):
+    periods = (30.0, 60.0, 120.0, 300.0)
+
+    def sweep():
+        out = {}
+        for period in periods:
+            mean_conv, ci, raw = repeat_seeds(
+                lambda seed: (run_period(period, seed) or (None,))[0], [1, 2, 3]
+            )
+            sample = run_period(period, 1)
+            out[period] = (mean_conv, ci, sample[1] if sample else float("nan"))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (f"{p:.0f}", f"{conv:.0f}", f"{ci:.0f}", f"{rate:.2f}")
+        for p, (conv, ci, rate) in results.items()
+    ]
+    print_table(
+        ["hello period (s)", "convergence (s)", "95% CI", "control airtime (s/h)"],
+        rows,
+        title="A1: hello-period ablation on a 5-node line (3 seeds)",
+    )
+
+    convs = [results[p][0] for p in periods]
+    rates = [results[p][2] for p in periods]
+    # Shape: slower beacons -> slower convergence, less control airtime.
+    assert convs[0] < convs[-1]
+    assert rates[0] > rates[-1]
+    # Roughly linear in the period: 10x period within 2x-30x convergence.
+    ratio = convs[-1] / convs[0]
+    assert 2.0 < ratio < 30.0

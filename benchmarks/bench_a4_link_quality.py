@@ -1,0 +1,106 @@
+"""A4 — Ablation: SNR-based link-quality tie-breaking (extension).
+
+The paper's protocol routes purely on hop count; an equal-metric route
+through a marginal link is as good as one through a strong link.  The
+``link_quality_tiebreak_db`` extension prefers the stronger first hop on
+ties.  We evaluate both on a diamond whose two 2-hop paths differ only in
+link quality: the weak relay sits near the edge of radio range (frames
+occasionally lost to shadowing-free but marginal SNR under interference),
+the strong relay is close.
+
+With a deterministic channel, marginal links either work or don't — so
+to expose the difference we inject 30 % frame loss on every link touching
+the weak relay (the fading a real deployment sees on links that sit a
+fraction of a dB above the demodulation floor).
+
+Expected shape: hop-count routing picks whichever relay it heard first
+(~50/50 across seeds) and suffers when it's the weak one; quality-aware
+routing converges on the strong relay and delivers more.
+"""
+
+import random
+
+from benchmarks.conftest import BENCH_CONFIG
+from repro.experiments.report import print_table
+from repro.metrics.collect import FlowRecorder, attach_recorder
+from repro.net.api import MeshNetwork
+from repro.workload.traffic import PeriodicSender
+
+# Source A, weak relay W (131 m links, SNR ~ -7.1 dB, barely above the
+# SF7 floor of -7.5), strong relay S (95 m links, SNR ~ -4.2 dB),
+# destination D.  The SNR gap is ~2.9 dB, above the 2 dB tie-break.
+POSITIONS = [
+    (0.0, 0.0),  # A
+    (95.0, 90.0),  # W: marginal links to both ends
+    (95.0, 10.0),  # S: strong links to both ends
+    (190.0, 0.0),  # D
+]
+
+TIEBREAK_DB = 2.0
+
+
+def run_variant(tiebreak, seed):
+    # Loss model: the weak relay's links lose 30% of frames in both
+    # directions; all other links are clean.
+    weak_address = 0x0002
+    rng = random.Random(seed * 31 + 7)
+
+    def injector(tx, rx_id):
+        if tx.sender_id == weak_address or rx_id == weak_address:
+            return rng.random() < 0.30
+        return False
+
+    config = BENCH_CONFIG.replace(link_quality_tiebreak_db=tiebreak)
+    net = MeshNetwork.from_positions(
+        POSITIONS, config=config, seed=seed, loss_injector=injector, trace_enabled=False
+    )
+    if net.run_until_converged(timeout_s=7200.0) is None:
+        return None
+    a, d = net.nodes[0], net.nodes[3]
+    recorder = FlowRecorder()
+    attach_recorder(recorder, d)
+    sender = PeriodicSender(
+        net.sim, a.address, d.address, a.send_datagram,
+        period_s=30.0, listener=recorder, rng=random.Random(seed),
+    )
+    net.run(for_s=3600.0)
+    sender.stop()
+    net.run(for_s=120.0)
+    flow = recorder.flow(a.address, d.address)
+    return {
+        "via": a.table.next_hop(d.address),
+        "pdr": flow.pdr,
+    }
+
+
+def test_a4_link_quality_tiebreak(benchmark):
+    seeds = (1, 2, 3, 4, 5, 6)
+
+    def sweep():
+        return {
+            "hop-count (paper)": [run_variant(None, s) for s in seeds],
+            "quality-aware (+2 dB)": [run_variant(TIEBREAK_DB, s) for s in seeds],
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for name, trials in results.items():
+        trials = [t for t in trials if t is not None]
+        weak_picks = sum(1 for t in trials if t["via"] == 0x0002)
+        mean_pdr = sum(t["pdr"] for t in trials) / len(trials)
+        rows.append((name, f"{weak_picks}/{len(trials)}", f"{mean_pdr * 100:.1f}%"))
+    print_table(
+        ["routing", "runs ending on the lossy relay", "mean PDR"],
+        rows,
+        title="A4: equal-hop diamond, one relay loses 30% of frames (6 seeds)",
+    )
+
+    paper = [t for t in results["hop-count (paper)"] if t is not None]
+    aware = [t for t in results["quality-aware (+2 dB)"] if t is not None]
+    paper_pdr = sum(t["pdr"] for t in paper) / len(paper)
+    aware_pdr = sum(t["pdr"] for t in aware) / len(aware)
+    aware_weak = sum(1 for t in aware if t["via"] == 0x0002)
+    # Shape: quality-aware routing avoids the lossy relay and delivers at
+    # least as well as hop-count routing on average.
+    assert aware_weak <= sum(1 for t in paper if t["via"] == 0x0002)
+    assert aware_pdr >= paper_pdr - 0.02

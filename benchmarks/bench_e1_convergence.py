@@ -1,0 +1,68 @@
+"""E1 — Routing-table convergence from cold start.
+
+Paper artifact: the demo's core claim — nodes powered on with empty
+tables discover the whole mesh through periodic hellos.  We reproduce the
+routing-table build-up on the 4-node line the demo used, reporting when
+each node's table reached each size and the network-wide convergence
+time.
+
+Expected shape: convergence completes within a few hello periods, and
+the time to learn a destination grows with its hop distance (information
+propagates one hop per hello round).
+"""
+
+from benchmarks.conftest import BENCH_CONFIG, SEEDS
+from repro.experiments.report import print_table
+from repro.experiments.sweep import repeat_seeds
+from repro.net.api import MeshNetwork
+from repro.topology.placement import line_positions
+from repro.trace.events import EventKind
+
+
+def converge_once(seed: int):
+    net = MeshNetwork.from_positions(line_positions(4), config=BENCH_CONFIG, seed=seed)
+    t = net.run_until_converged(timeout_s=3600.0, check_period_s=5.0)
+    return net, t
+
+
+def test_e1_convergence_timeline(benchmark):
+    net, convergence = benchmark.pedantic(
+        lambda: converge_once(SEEDS[0]), rounds=1, iterations=1
+    )
+    assert convergence is not None, "the demo line must converge"
+
+    # Per-node table growth timeline from the trace.
+    rows = []
+    for node in net.nodes:
+        additions = net.trace.events(EventKind.ROUTE_ADDED, node=node.address)
+        learned = {e.detail["dst"]: e.time for e in additions}
+        for dst, t in sorted(learned.items()):
+            rows.append((node.name, f"{dst:04X}", f"{t:.1f}"))
+    print_table(
+        ["node", "learned dst", "at t (s)"],
+        rows,
+        title="E1: routing-table build-up, 4-node line, hello=60 s (seed 11)",
+    )
+
+    mean_t, ci, raw = repeat_seeds(lambda s: converge_once(s)[1], SEEDS)
+    print_table(
+        ["metric", "value"],
+        [
+            ("full convergence (mean s)", f"{mean_t:.1f}"),
+            ("95% CI half-width (s)", f"{ci:.1f}"),
+            ("hello period (s)", BENCH_CONFIG.hello_period_s),
+            ("trials", len(SEEDS)),
+        ],
+        title="E1: convergence time over seeds",
+    )
+    # Shape assertions: converged within a handful of hello periods.
+    assert mean_t < 8 * BENCH_CONFIG.hello_period_s
+
+    # Distant destinations are learned no earlier than near ones
+    # (information travels one hop per hello round).
+    first = net.nodes[0]
+    additions = {
+        e.detail["dst"]: e.time
+        for e in net.trace.events(EventKind.ROUTE_ADDED, node=first.address)
+    }
+    assert additions[net.addresses[1]] <= additions[net.addresses[3]]

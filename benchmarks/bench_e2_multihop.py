@@ -1,0 +1,63 @@
+"""E2 — Multi-hop data delivery between two end nodes.
+
+Paper artifact: the demo's live exchange — two nodes communicate data
+packets while the other nodes operate as routers.  We sweep the line
+length (1–5 hops between the endpoints) and report PDR, mean latency,
+and the forwarding work done by the intermediate routers.
+
+Expected shape: PDR stays high at every hop count (the mesh works), and
+latency grows roughly linearly with hop count (one frame airtime plus
+queueing per hop).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG
+from repro.experiments.report import print_table
+from repro.experiments.runner import Protocol, TrafficSpec, run_protocol
+from repro.topology.placement import line_positions
+
+
+def run_hops(hops: int, seed: int):
+    positions = line_positions(hops + 1)
+    traffic = [
+        TrafficSpec(src_index=0, dst_index=hops, period_s=60.0),
+        TrafficSpec(src_index=hops, dst_index=0, period_s=60.0),
+    ]
+    return run_protocol(
+        Protocol.MESH, positions, traffic, duration_s=1800.0, seed=seed, config=BENCH_CONFIG
+    )
+
+
+def test_e2_pdr_and_latency_vs_hops(benchmark):
+    results = benchmark.pedantic(
+        lambda: {hops: run_hops(hops, seed=7) for hops in (1, 2, 3, 4, 5)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for hops, result in results.items():
+        forwarded = sum(
+            n.stats.data_forwarded for n in result.network.nodes
+        )
+        rows.append(
+            (
+                hops,
+                f"{result.pdr * 100:.1f}%",
+                f"{result.mean_latency_s:.2f}" if result.mean_latency_s else "-",
+                forwarded,
+                result.overhead.frames_sent,
+            )
+        )
+    print_table(
+        ["hops", "PDR", "mean latency (s)", "router forwards", "total frames"],
+        rows,
+        title="E2: end-to-end delivery across the line (30 min, 60 s probes each way)",
+    )
+
+    # Shape: high PDR at every distance; latency grows with hops.
+    for hops, result in results.items():
+        assert result.pdr > 0.9, f"{hops}-hop PDR collapsed: {result.pdr}"
+    assert results[5].mean_latency_s > results[1].mean_latency_s
+    # Routers really forwarded: ~ (hops-1) forwards per delivered probe pair.
+    assert sum(n.stats.data_forwarded for n in results[3].network.nodes) > 0

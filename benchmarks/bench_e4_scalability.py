@@ -1,0 +1,88 @@
+"""E4 — Scalability of distance-vector dissemination.
+
+Paper artifact: LoRaMesher targets networks of "tiny IoT nodes"; this
+bench characterises how convergence time and control overhead grow with
+network size on random connected placements.
+
+Expected shape: convergence time grows with network diameter (roughly
+diameter x hello period), and control bytes grow superlinearly in N
+(every node advertises every other node).
+"""
+
+import random
+
+from benchmarks.conftest import BENCH_CONFIG
+from repro.experiments.report import print_table
+from repro.net.api import MeshNetwork
+from repro.phy.link import LinkBudget
+from repro.phy.pathloss import LogDistancePathLoss
+from repro.topology.graphs import connectivity_graph, graph_stats
+from repro.topology.placement import random_positions
+
+
+def connected_placement(n: int, seed: int):
+    """A random placement that is guaranteed radio-connected."""
+    budget = LinkBudget(LogDistancePathLoss())
+    rng = random.Random(seed)
+    side = 110.0 * max(2.0, (n / 2.0) ** 0.5)
+    for attempt in range(50):
+        positions = random_positions(
+            n, width_m=side, height_m=side, rng=rng, min_separation_m=30.0
+        )
+        graph = connectivity_graph(positions, budget, BENCH_CONFIG.lora)
+        stats = graph_stats(graph)
+        if stats.connected:
+            return positions, stats
+    raise RuntimeError(f"no connected {n}-node placement found")
+
+
+def measure(n: int, seed: int):
+    positions, stats = connected_placement(n, seed)
+    net = MeshNetwork.from_positions(positions, config=BENCH_CONFIG, seed=seed, trace_enabled=False)
+    convergence = net.run_until_converged(timeout_s=7200.0, check_period_s=10.0)
+    return {
+        "n": n,
+        "diameter": stats.diameter,
+        "convergence_s": convergence,
+        "control_frames": net.total_frames_sent(),
+        "control_bytes": net.total_bytes_sent(),
+        "airtime_s": net.total_airtime_s(),
+    }
+
+
+def test_e4_convergence_vs_network_size(benchmark):
+    sizes = (2, 4, 8, 12, 16, 24)
+    results = benchmark.pedantic(
+        lambda: [measure(n, seed=5) for n in sizes], rounds=1, iterations=1
+    )
+    rows = [
+        (
+            r["n"],
+            r["diameter"],
+            f"{r['convergence_s']:.0f}" if r["convergence_s"] is not None else "timeout",
+            r["control_frames"],
+            r["control_bytes"],
+            f"{r['airtime_s']:.2f}",
+        )
+        for r in results
+    ]
+    print_table(
+        ["nodes", "diameter", "convergence (s)", "hello frames", "hello bytes", "airtime (s)"],
+        rows,
+        title="E4: cold-start convergence vs network size (random connected placements)",
+    )
+
+    # Shape: everything converged.
+    assert all(r["convergence_s"] is not None for r in results)
+    # Control bytes grow superlinearly with N (table rows scale with N^2
+    # across the whole network).
+    small, large = results[1], results[-1]
+    bytes_ratio = large["control_bytes"] / max(small["control_bytes"], 1)
+    n_ratio = large["n"] / small["n"]
+    assert bytes_ratio > n_ratio, (
+        f"control bytes grew x{bytes_ratio:.1f} for x{n_ratio:.1f} nodes"
+    )
+    # Convergence bounded by a few hello periods times the diameter.
+    for r in results:
+        if r["diameter"] > 0:
+            assert r["convergence_s"] < (r["diameter"] + 4) * 2 * BENCH_CONFIG.hello_period_s

@@ -1,0 +1,78 @@
+"""E7 — EU868 duty-cycle compliance.
+
+Paper artifact: the regulatory envelope the library must operate in
+(1% duty cycle per device in the 868 MHz sub-band).  We run a 3x3 grid
+under increasing traffic intensity and report each node's sub-band
+utilisation, asserting the pacing keeps every node — including the
+forwarding-heavy centre — under the limit.
+
+Expected shape: utilisation grows with offered load, routers sit above
+leaf nodes, and nobody exceeds 1%.
+"""
+
+import random
+
+from benchmarks.conftest import BENCH_CONFIG
+from repro.experiments.report import print_table
+from repro.net.api import MeshNetwork
+from repro.topology.placement import grid_positions
+from repro.workload.traffic import PeriodicSender
+
+
+def run_intensity(period_s: float, seed: int):
+    net = MeshNetwork.from_positions(
+        grid_positions(3, 3, spacing_m=100.0), config=BENCH_CONFIG, seed=seed, trace_enabled=False
+    )
+    net.run_until_converged(timeout_s=3600.0)
+    centre = net.node(net.addresses[4])
+    senders = [
+        PeriodicSender(
+            net.sim, node.address, centre.address, node.send_datagram,
+            period_s=period_s, payload_size=32, rng=random.Random(node.address + seed),
+        )
+        for node in net.nodes
+        if node is not centre
+    ]
+    net.run(for_s=3 * 3600.0)
+    for sender in senders:
+        sender.stop()
+    utilisations = {n.name: n.duty.window_utilisation(net.sim.now) for n in net.nodes}
+    deferrals = sum(n.stats.duty_deferrals for n in net.nodes)
+    forwarded = {n.name: n.stats.data_forwarded for n in net.nodes}
+    return net, utilisations, deferrals, forwarded
+
+
+def test_e7_duty_cycle_compliance(benchmark):
+    periods = (300.0, 60.0, 20.0)
+    results = benchmark.pedantic(
+        lambda: {p: run_intensity(p, seed=6) for p in periods}, rounds=1, iterations=1
+    )
+    rows = []
+    for period, (net, utilisations, deferrals, _forwarded) in results.items():
+        peak = max(utilisations.values())
+        mean_u = sum(utilisations.values()) / len(utilisations)
+        rows.append(
+            (
+                f"{period:.0f}",
+                f"{mean_u * 100:.3f}%",
+                f"{peak * 100:.3f}%",
+                max(utilisations, key=utilisations.get),
+                deferrals,
+                "PASS" if peak <= 0.01 else "VIOLATION",
+            )
+        )
+    print_table(
+        ["report period (s)", "mean duty", "peak duty", "busiest node", "deferrals", "EU868 1%"],
+        rows,
+        title="E7: 8 sensors -> centre on a 3x3 grid, 3 h (duty over trailing hour)",
+    )
+
+    # Shape assertions.
+    peaks = {p: max(u.values()) for p, (_, u, _, _) in results.items()}
+    assert all(peak <= 0.01 + 1e-9 for peak in peaks.values()), "duty-cycle violation"
+    assert peaks[20.0] > peaks[300.0], "utilisation must grow with offered load"
+    # The busiest node is one that forwards for others (in this grid the
+    # corner->centre traffic routes through the edge-midpoint nodes).
+    _, utilisations, _, forwarded = results[60.0]
+    busiest = max(utilisations, key=utilisations.get)
+    assert forwarded[busiest] > 0, f"busiest node {busiest} forwarded nothing"

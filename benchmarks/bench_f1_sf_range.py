@@ -1,0 +1,94 @@
+"""F1 — Figure: single-link delivery vs distance, per spreading factor.
+
+Paper artifact: the range/robustness trade-off that makes LoRa meshes
+necessary in the first place — at SF7 the demo's nodes only reach
+~135 m, so a building-scale deployment *must* route.  We sweep the
+distance of a single link for SF7/SF9/SF12 and plot the delivery curve
+(the classic LoRa range figure), then derive each SF's usable range.
+
+Expected shape: a sharp sensitivity cliff per SF, moving outward ~2x in
+distance for every ~2 SF steps, paid for with ~4x airtime.
+"""
+
+from benchmarks.conftest import BENCH_CONFIG
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.report import print_table
+from repro.medium.channel import Medium
+from repro.phy.airtime import time_on_air
+from repro.phy.link import LinkBudget
+from repro.phy.modulation import LoRaParams, SpreadingFactor
+from repro.phy.pathloss import LogDistancePathLoss
+from repro.radio.driver import Radio
+from repro.sim.kernel import Simulator
+
+SFS = (SpreadingFactor.SF7, SpreadingFactor.SF9, SpreadingFactor.SF12)
+DISTANCES = tuple(range(25, 1001, 25))
+FRAMES_PER_POINT = 20
+
+
+def delivery_at(distance: float, sf: SpreadingFactor) -> float:
+    """Fraction of frames delivered over a single link at this distance."""
+    params = LoRaParams(spreading_factor=sf)
+    sim = Simulator()
+    medium = Medium(sim, LinkBudget(LogDistancePathLoss()))
+    tx = Radio(sim, medium, 1, (0.0, 0.0), params)
+    rx = Radio(sim, medium, 2, (distance, 0.0), params)
+    rx.start_receive()
+    got = []
+    rx.on_receive = lambda frame: got.append(frame.crc_ok)
+    for _ in range(FRAMES_PER_POINT):
+        tx.transmit(bytes(24))
+        sim.run(until=sim.now + 5.0)
+    return sum(got) / FRAMES_PER_POINT
+
+
+def sweep():
+    return {
+        sf.name: [(d, delivery_at(d, sf)) for d in DISTANCES] for sf in SFS
+    }
+
+
+def usable_range(curve) -> float:
+    """Largest swept distance still delivering >= 95%."""
+    good = [d for d, pdr in curve if pdr >= 0.95]
+    return max(good) if good else 0.0
+
+
+def test_f1_range_per_spreading_factor(benchmark):
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        ascii_plot(
+            curves,
+            title="F1: single-link delivery ratio vs distance (log-distance channel)",
+            x_label="distance (m)",
+            y_label="delivery ratio",
+            width=70,
+            height=14,
+        )
+    )
+    rows = []
+    for sf in SFS:
+        rng = usable_range(curves[sf.name])
+        toa = time_on_air(24, LoRaParams(spreading_factor=sf)) * 1000
+        rows.append((sf.name, f"{rng:.0f}", f"{toa:.1f}"))
+    print_table(
+        ["SF", "usable range (m, >=95% PDR)", "24 B frame ToA (ms)"],
+        rows,
+        title="F1: derived usable range per SF",
+    )
+
+    ranges = {sf: usable_range(curves[sf.name]) for sf in SFS}
+    airtimes = {
+        sf: time_on_air(24, LoRaParams(spreading_factor=sf)) for sf in SFS
+    }
+    # Shape: higher SF reaches strictly farther and costs strictly more.
+    assert ranges[SpreadingFactor.SF7] < ranges[SpreadingFactor.SF9] < ranges[SpreadingFactor.SF12]
+    assert airtimes[SpreadingFactor.SF7] < airtimes[SpreadingFactor.SF9] < airtimes[SpreadingFactor.SF12]
+    # SF7's cliff sits near the 135 m the rest of the suite relies on.
+    assert 100 <= ranges[SpreadingFactor.SF7] <= 150
+    # The deterministic channel has a sharp cliff: curves are monotone
+    # non-increasing in distance.
+    for curve in curves.values():
+        pdrs = [pdr for _, pdr in curve]
+        assert all(b <= a for a, b in zip(pdrs, pdrs[1:]))

@@ -1,0 +1,103 @@
+"""F2 — Figure: routing coverage over time from cold start.
+
+Paper artifact: the demo's narrative arc — power the boards on, watch
+routing tables fill, see full connectivity emerge.  We sample the
+fraction of routed (src, dst) pairs every 10 s on the 4-node line and an
+8-node grid and plot coverage vs time, including a mid-run node failure
+to show the dip-and-recover shape.
+
+Expected shape: a staircase rising to 1.0 within a few hello periods;
+after the failure, a dip when stale routes expire, then recovery once the
+recovered node re-announces.
+"""
+
+from benchmarks.conftest import BENCH_CONFIG
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.report import print_table
+from repro.net.api import MeshNetwork
+from repro.topology.mobility import FailureSchedule
+from repro.topology.placement import grid_positions, line_positions
+
+SAMPLE_PERIOD_S = 10.0
+
+
+def coverage_timeline(positions, seed, *, duration_s, fail_at=None, recover_at=None):
+    net = MeshNetwork.from_positions(positions, config=BENCH_CONFIG, seed=seed, trace_enabled=False)
+    victim = net.nodes[len(net.nodes) // 2]
+    schedule = FailureSchedule(net.sim)
+    if fail_at is not None:
+        schedule.fail_at(fail_at, victim)
+    if recover_at is not None:
+        schedule.recover_at(recover_at, victim)
+    samples = []
+    while net.sim.now < duration_s:
+        net.run(for_s=SAMPLE_PERIOD_S)
+        samples.append((net.sim.now, net.coverage()))
+    return samples
+
+
+def test_f2_coverage_over_time(benchmark):
+    def run():
+        return {
+            "line4": coverage_timeline(line_positions(4), seed=3, duration_s=600.0),
+            "grid8": coverage_timeline(
+                grid_positions(2, 4, spacing_m=100.0), seed=3, duration_s=600.0
+            ),
+        }
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        ascii_plot(
+            curves,
+            title="F2a: routed-pair coverage from cold start",
+            x_label="time (s)",
+            y_label="coverage",
+            width=70,
+            height=12,
+        )
+    )
+    for name, curve in curves.items():
+        final = curve[-1][1]
+        reached = next((t for t, c in curve if c >= 1.0), None)
+        print_table(
+            ["series", "full coverage at (s)", "final coverage"],
+            [(name, f"{reached:.0f}" if reached else "never", f"{final * 100:.0f}%")],
+        )
+        # Shape: monotone non-decreasing staircase reaching 1.0.
+        values = [c for _, c in curve]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert final == 1.0
+
+
+def test_f2_failure_dip_and_recovery(benchmark):
+    curve = benchmark.pedantic(
+        lambda: coverage_timeline(
+            line_positions(4),
+            seed=5,
+            duration_s=1800.0,
+            fail_at=600.0,
+            recover_at=900.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        ascii_plot(
+            {"line4 w/ failure": curve},
+            title="F2b: relay fails at t=600 s, recovers at t=900 s",
+            x_label="time (s)",
+            y_label="coverage",
+            width=70,
+            height=12,
+        )
+    )
+    before = [c for t, c in curve if 300.0 <= t < 600.0]
+    during = [c for t, c in curve if 700.0 <= t < 1000.0]
+    after = [c for t, c in curve if t >= 1500.0]
+    # Shape: full before, dipped while the relay is dead (routes through
+    # it go stale), fully recovered at the end.
+    assert min(before) == 1.0
+    assert min(during) < 1.0
+    assert after[-1] == 1.0

@@ -1,0 +1,99 @@
+"""P1 — Performance of the simulation substrate itself.
+
+Not a paper experiment: these benches characterise the reproduction's
+own machinery (kernel event throughput, medium reception resolution,
+whole-stack simulated-seconds per wall-second) so regressions in the
+substrate are caught before they silently stretch every other bench.
+
+Unlike the E/F/A benches these use real pytest-benchmark rounds — the
+workloads are microseconds-to-milliseconds and benefit from statistics.
+"""
+
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.sim.kernel import Simulator
+from repro.topology.placement import grid_positions
+
+BENCH_CONFIG = MesherConfig(hello_period_s=60.0, route_timeout_s=300.0, purge_period_s=30.0)
+
+
+def test_perf_kernel_event_throughput(benchmark):
+    """Schedule+fire cost of 10k chained events."""
+
+    def run_events():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count
+
+    count = benchmark(run_events)
+    assert count == 10_000
+
+
+def test_perf_kernel_timer_churn(benchmark):
+    """Arm-and-cancel cost (the protocol's dominant kernel pattern)."""
+
+    def churn():
+        sim = Simulator()
+        for _ in range(5_000):
+            handle = sim.schedule(1.0, lambda: None)
+            handle.cancel()
+        sim.run(until=2.0)
+        return sim.events_fired
+
+    fired = benchmark(churn)
+    assert fired == 0  # everything was cancelled
+
+
+def test_perf_mesh_simulated_hour(benchmark):
+    """Whole-stack throughput: one simulated hour of a 9-node mesh."""
+
+    def run_hour():
+        net = MeshNetwork.from_positions(
+            grid_positions(3, 3, spacing_m=100.0),
+            config=BENCH_CONFIG,
+            seed=1,
+            trace_enabled=False,
+        )
+        net.run(for_s=3600.0)
+        return net.total_frames_sent()
+
+    frames = benchmark(run_hour)
+    assert frames > 0
+
+
+def test_perf_medium_resolution_dense_cell(benchmark):
+    """Reception resolution with 16 listeners per frame."""
+    from repro.medium.channel import Medium
+    from repro.phy.link import LinkBudget
+    from repro.phy.modulation import LoRaParams
+    from repro.phy.pathloss import LogDistancePathLoss
+    from repro.radio.driver import Radio
+    from repro.topology.placement import ring_positions
+
+    def run_cell():
+        sim = Simulator()
+        medium = Medium(sim, LinkBudget(LogDistancePathLoss()))
+        params = LoRaParams()
+        radios = [
+            Radio(sim, medium, i + 1, pos, params)
+            for i, pos in enumerate(ring_positions(16, radius_m=50.0))
+        ]
+        for radio in radios:
+            radio.start_receive()
+        # 50 sequential frames, each resolved against 15 listeners.
+        for i in range(50):
+            radios[i % 16].transmit(bytes(32))
+            sim.run(until=sim.now + 1.0)
+        return sum(r.frames_received for r in radios)
+
+    received = benchmark(run_cell)
+    assert received == 50 * 15

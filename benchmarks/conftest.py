@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark harness.
+
+Each bench file regenerates one table/figure from the paper's evaluation
+(see DESIGN.md section 4 and EXPERIMENTS.md for the mapping).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every bench prints its rows through
+:func:`repro.experiments.report.print_table` so the output reads like the
+paper's tables; pytest-benchmark additionally reports wall-clock cost of
+the underlying simulation.
+"""
+
+import pytest
+
+from repro.net.config import MesherConfig
+
+#: The configuration used across benches unless a bench sweeps it: the
+#: firmware defaults scaled down (hello every 60 s instead of 120 s) so a
+#: bench run completes in seconds of wall-clock while keeping the same
+#: period/timeout ratios.
+BENCH_CONFIG = MesherConfig(
+    hello_period_s=60.0,
+    route_timeout_s=300.0,
+    purge_period_s=30.0,
+)
+
+#: Seeds for repeated trials.
+SEEDS = [11, 22, 33]
+
+
+@pytest.fixture
+def bench_config():
+    return BENCH_CONFIG

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Reliable bulk transfer: a firmware image crosses the mesh.
+
+The paper points at "new distributed applications hosted only on tiny IoT
+nodes" — the canonical one being over-the-mesh firmware/configuration
+distribution.  A 6 KiB blob does not fit a LoRa frame (255 B), so
+LoRaMesher fragments it into XL_DATA packets, opens the stream with SYNC,
+repairs losses via LOST reports, and closes with an ACK.
+
+The script pushes the blob across a 3-hop line, first on a clean channel
+and then with 15% random frame loss injected, printing the repair cost.
+
+Run:  python examples/bulk_transfer.py
+"""
+
+import hashlib
+import random
+
+from repro import MeshNetwork
+from repro.topology import line_positions
+
+
+def transfer(loss_rate: float, *, seed: int = 5) -> None:
+    label = f"{loss_rate * 100:.0f}% injected frame loss" if loss_rate else "clean channel"
+    print(f"\n--- Transfer with {label} ---")
+
+    loss_rng = random.Random(seed)
+    injector = (lambda tx, rx_id: loss_rng.random() < loss_rate) if loss_rate else None
+    net = MeshNetwork.from_positions(line_positions(4), seed=seed, loss_injector=injector)
+    if net.run_until_converged(timeout_s=7200.0) is None:
+        raise SystemExit("mesh did not converge")
+
+    source = net.node(net.addresses[0])
+    target = net.node(net.addresses[-1])
+
+    blob = random.Random(99).randbytes(6 * 1024)
+    digest = hashlib.sha256(blob).hexdigest()[:16]
+    print(f"{source.name} sends {len(blob)} B to {target.name} "
+          f"({source.table.metric(target.address)} hops), sha256 {digest}...")
+
+    outcome = {}
+    started = net.sim.now
+    source.send_reliable(
+        target.address, blob, on_complete=lambda ok, why: outcome.update(ok=ok, why=why)
+    )
+    net.run(for_s=3600.0)
+
+    message = target.receive()
+    if not outcome.get("ok") or message is None:
+        print(f"transfer FAILED: {outcome}")
+        return
+    elapsed = message.received_at - started
+    received_digest = hashlib.sha256(message.payload).hexdigest()[:16]
+    transport = source.reliable
+    print(
+        f"delivered {len(message.payload)} B in {elapsed:.0f} s "
+        f"({8 * len(message.payload) / elapsed:.0f} bit/s goodput), sha256 {received_digest}..."
+    )
+    assert received_digest == digest, "payload corrupted in transit!"
+    print(
+        f"cost: {transport.fragments_sent} fragments sent, "
+        f"{transport.retransmissions} retransmissions, "
+        f"{target.reliable.losts_sent} LOST reports, "
+        f"{net.total_airtime_s():.1f} s total airtime"
+    )
+
+
+def main() -> None:
+    transfer(0.0)
+    transfer(0.15)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""A distributed application on tiny nodes: epidemic firmware updates.
+
+The paper's closing claim is that LoRaMesher "can open the possibility
+for new distributed applications hosted only on such tiny IoT nodes".
+This example runs one: Deluge-style over-the-air update dissemination
+built purely on the public mesh API (see ``repro.apps.ota``).
+
+A 3x3 grid is seeded with firmware v2 at one corner.  Nodes advertise
+their version to neighbours, out-of-date nodes request the image, and
+each transfer is a single-hop reliable stream — the update ripples
+outward like an epidemic, with no coordinator and no multi-hop bulk
+traffic.
+
+Run:  python examples/ota_dissemination.py
+"""
+
+from repro import MeshNetwork, MesherConfig
+from repro.apps.ota import deploy_ota, dissemination_complete
+from repro.topology import grid_positions
+
+CONFIG = MesherConfig(hello_period_s=60.0, route_timeout_s=300.0, purge_period_s=30.0)
+FIRMWARE = bytes(i % 251 for i in range(3 * 1024))  # a 3 KiB image
+VERSION = 2
+
+
+def holders_map(net, apps) -> str:
+    """A 3x3 map of who holds the new firmware."""
+    rows = []
+    for r in range(3):
+        cells = []
+        for c in range(3):
+            app = apps[net.addresses[r * 3 + c]]
+            cells.append("##" if app.version >= VERSION else "..")
+        rows.append(" ".join(cells))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    net = MeshNetwork.from_positions(grid_positions(3, 3, spacing_m=100.0), config=CONFIG, seed=27)
+    print("Converging a 3x3 grid mesh ...")
+    print(f"converged after {net.run_until_converged(timeout_s=7200.0):.0f} s")
+
+    apps = deploy_ota(net.nodes, advert_period_s=90.0, seed=27)
+    seed_corner = net.addresses[0]
+    print(f"\nSeeding firmware v{VERSION} ({len(FIRMWARE)} B) at node {seed_corner:04X}.\n")
+    start = net.sim.now
+    apps[seed_corner].install(VERSION, FIRMWARE)
+
+    while not dissemination_complete(apps, VERSION):
+        net.run(for_s=120.0)
+        print(f"t = {net.sim.now - start:5.0f} s")
+        print(holders_map(net, apps))
+        print()
+        if net.sim.now - start > 4 * 3600.0:
+            raise SystemExit("dissemination stalled")
+
+    elapsed = net.sim.now - start
+    transfers = sum(a.stats.transfers_completed for a in apps.values())
+    adverts = sum(a.stats.adverts_sent for a in apps.values())
+    print(f"All 9 nodes updated in {elapsed:.0f} s.")
+    print(
+        f"Cost: {transfers} single-hop reliable transfers "
+        f"(one per updated node), {adverts} adverts, "
+        f"{net.total_airtime_s():.1f} s total airtime."
+    )
+    ok = all(apps[a].blob == FIRMWARE for a in net.addresses)
+    print(f"Image integrity on every node: {'OK' if ok else 'CORRUPTED'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Comparison protocols running on the same substrate as LoRaMesher.
+
+The paper motivates mesh routing against the two obvious alternatives:
+
+* :mod:`repro.baselines.flooding` — controlled flooding: every node
+  rebroadcasts every packet once (dedup + TTL).  Delivers without any
+  routing state, at a steep airtime and collision cost.
+* :mod:`repro.baselines.star` — the LoRaWAN-style star: end nodes talk
+  only to a gateway, which relays.  No multi-hop: out-of-range nodes are
+  simply unreachable.
+* :mod:`repro.baselines.idealrouter` — an oracle upper bound: LoRaMesher
+  nodes whose routing tables are pre-filled with global shortest paths
+  and whose hello service is disabled (zero control overhead, perfect
+  routes),
+* :mod:`repro.baselines.aodv` — reactive (on-demand) routing: RREQ
+  floods discover routes only when traffic needs them, the proactive
+  protocol's opposite corner of the design space.
+
+All of them use the identical kernel/PHY/medium/radio stack, so
+benchmark differences isolate the protocol, not the substrate.
+"""
+
+from repro.baselines.aodv import AodvNetwork, AodvNode
+from repro.baselines.flooding import FloodingNetwork, FloodingNode
+from repro.baselines.star import StarNetwork
+from repro.baselines.idealrouter import OracleNode, build_oracle_network
+
+__all__ = [
+    "FloodingNode",
+    "FloodingNetwork",
+    "StarNetwork",
+    "OracleNode",
+    "build_oracle_network",
+    "AodvNode",
+    "AodvNetwork",
+]

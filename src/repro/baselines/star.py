@@ -1,0 +1,265 @@
+"""LoRaWAN-style star baseline.
+
+The architecture the paper contrasts against: end nodes speak only to a
+central gateway, which relays unicasts to their destination in a single
+downlink hop.  There is no forwarding by end nodes, so any node outside
+the gateway's radio range is simply unreachable — the failure mode that
+motivates the mesh.
+
+The star reuses the mesh wire format (DATA packets with ``via`` set to
+the gateway / the destination) so airtime comparisons are apples to
+apples.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.medium.channel import Medium
+from repro.net import serialization
+from repro.net.addresses import BROADCAST_ADDRESS, validate_address
+from repro.net.mesher import AppMessage
+from repro.net.packets import DataPacket
+from repro.phy.airtime import time_on_air
+from repro.phy.link import LinkBudget
+from repro.phy.modulation import LoRaParams
+from repro.phy.pathloss import LogDistancePathLoss, PathLossModel, Position
+from repro.phy.regions import DutyCycleAccountant, EU868, Region
+from repro.radio.driver import Radio
+from repro.radio.frames import ReceivedFrame
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+logger = logging.getLogger(__name__)
+
+
+class _StarEndpoint:
+    """Shared transmit machinery of gateway and end nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        address: int,
+        position: Position,
+        params: LoRaParams,
+        rng,
+        *,
+        region: Region = EU868,
+        backoff_max_s: float = 0.5,
+    ) -> None:
+        validate_address(address)
+        self.sim = sim
+        self.address = address
+        self._params = params
+        self._rng = rng
+        self.backoff_max_s = backoff_max_s
+        self.radio = Radio(sim, medium, address, position, params)
+        self.radio.on_receive = self._on_frame
+        self.radio.on_tx_done = lambda: self._kick()
+        self.duty = DutyCycleAccountant(region)
+        self._outbox: List[bytes] = []
+        self._pump_armed = False
+        self.inbox: List[AppMessage] = []
+        self.on_message: Optional[Callable[[AppMessage], None]] = None
+        self.delivered = 0
+
+    def start(self) -> None:
+        """Enter continuous receive."""
+        self.radio.start_receive()
+
+    def receive(self) -> Optional[AppMessage]:
+        """Pop the next delivered message, or None."""
+        return self.inbox.pop(0) if self.inbox else None
+
+    # ------------------------------------------------------------------
+    def _enqueue_frame(self, frame: bytes) -> None:
+        self._outbox.append(frame)
+        self._kick()
+
+    def _kick(self) -> None:
+        if self._pump_armed or self.radio.transmitting or not self._outbox:
+            return
+        self._pump_armed = True
+        self.sim.schedule(
+            self._rng.uniform(0, self.backoff_max_s),
+            self._pump,
+            label=f"star{self.address} pump",
+        )
+
+    def _pump(self) -> None:
+        self._pump_armed = False
+        if self.radio.transmitting or not self._outbox:
+            return
+        frame = self._outbox[0]
+        airtime = time_on_air(len(frame), self._params)
+        now = self.sim.now
+        if not self.duty.can_transmit(now, airtime):
+            self._pump_armed = True
+            self.sim.schedule(
+                self.duty.next_allowed_time(now, airtime) - now,
+                self._pump,
+                label=f"star{self.address} duty",
+            )
+            return
+        self._outbox.pop(0)
+        self.duty.record(now, airtime)
+        self.radio.transmit(frame)
+
+    def _deliver(self, packet: DataPacket) -> None:
+        self.delivered += 1
+        message = AppMessage(
+            src=packet.src, payload=packet.payload, received_at=self.sim.now, reliable=False
+        )
+        self.inbox.append(message)
+        if self.on_message is not None:
+            self.on_message(message)
+
+    def _on_frame(self, rx: ReceivedFrame) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class StarGateway(_StarEndpoint):
+    """The central gateway: receives uplinks, relays unicasts downlink."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.uplinks_received = 0
+        self.downlinks_relayed = 0
+
+    def _on_frame(self, rx: ReceivedFrame) -> None:
+        if not rx.crc_ok:
+            return
+        try:
+            packet = serialization.decode(rx.payload)
+        except serialization.DecodeError:
+            return
+        if not isinstance(packet, DataPacket) or packet.via != self.address:
+            return
+        self.uplinks_received += 1
+        if packet.dst in (self.address, BROADCAST_ADDRESS):
+            self._deliver(packet)
+            return
+        # Relay: one downlink hop straight to the destination.
+        downlink = DataPacket(
+            dst=packet.dst, src=packet.src, via=packet.dst, payload=packet.payload
+        )
+        self.downlinks_relayed += 1
+        self._enqueue_frame(serialization.encode(downlink))
+
+
+class StarEndNode(_StarEndpoint):
+    """An end node: transmits uplinks to the gateway, receives downlinks."""
+
+    def __init__(self, *args, gateway_address: int, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.gateway_address = gateway_address
+        self.originated = 0
+
+    def send(self, dst: int, payload: bytes) -> bool:
+        """Send to ``dst`` through the gateway (LoRaWAN has no node-to-node
+        path, so even neighbour traffic takes two hops)."""
+        packet = DataPacket(dst=dst, src=self.address, via=self.gateway_address, payload=payload)
+        self.originated += 1
+        self._enqueue_frame(serialization.encode(packet))
+        return True
+
+    def _on_frame(self, rx: ReceivedFrame) -> None:
+        if not rx.crc_ok:
+            return
+        try:
+            packet = serialization.decode(rx.payload)
+        except serialization.DecodeError:
+            return
+        if not isinstance(packet, DataPacket):
+            return
+        if packet.via == self.address and packet.dst in (self.address, BROADCAST_ADDRESS):
+            self._deliver(packet)
+
+
+class StarNetwork:
+    """A gateway plus end nodes (the first position is the gateway)."""
+
+    def __init__(
+        self,
+        positions: Sequence[Position],
+        *,
+        seed: int = 0,
+        params: Optional[LoRaParams] = None,
+        pathloss: Optional[PathLossModel] = None,
+        gateway_index: int = 0,
+    ) -> None:
+        if len(positions) < 2:
+            raise ValueError("a star needs a gateway and at least one end node")
+        if not 0 <= gateway_index < len(positions):
+            raise ValueError("gateway_index out of range")
+        self.sim = Simulator()
+        self.rngs = RngRegistry(seed)
+        params = params or LoRaParams()
+        model = pathloss if pathloss is not None else LogDistancePathLoss()
+        self.medium = Medium(self.sim, LinkBudget(model))
+
+        self._nodes: Dict[int, _StarEndpoint] = {}
+        gateway_address = 0x0001 + gateway_index
+        for i, position in enumerate(positions):
+            address = 0x0001 + i
+            if i == gateway_index:
+                node: _StarEndpoint = StarGateway(
+                    self.sim,
+                    self.medium,
+                    address,
+                    position,
+                    params,
+                    self.rngs.stream(f"star.{address}"),
+                )
+            else:
+                node = StarEndNode(
+                    self.sim,
+                    self.medium,
+                    address,
+                    position,
+                    params,
+                    self.rngs.stream(f"star.{address}"),
+                    gateway_address=gateway_address,
+                )
+            node.start()
+            self._nodes[address] = node
+        self.gateway_address = gateway_address
+
+    @property
+    def gateway(self) -> StarGateway:
+        """The gateway node."""
+        node = self._nodes[self.gateway_address]
+        assert isinstance(node, StarGateway)
+        return node
+
+    @property
+    def addresses(self) -> List[int]:
+        """All addresses in insertion order (gateway included)."""
+        return list(self._nodes)
+
+    @property
+    def nodes(self) -> List[_StarEndpoint]:
+        """All nodes (gateway + end nodes) in insertion order."""
+        return list(self._nodes.values())
+
+    def node(self, address: int) -> _StarEndpoint:
+        """Node by address."""
+        return self._nodes[address]
+
+    def end_nodes(self) -> List[StarEndNode]:
+        """All end nodes."""
+        return [n for n in self._nodes.values() if isinstance(n, StarEndNode)]
+
+    def run(self, *, for_s: float) -> float:
+        """Advance the simulation."""
+        return self.sim.run(until=self.sim.now + for_s)
+
+    def total_frames_sent(self) -> int:
+        """Frames on the air across the network."""
+        return sum(n.radio.frames_sent for n in self._nodes.values())
+
+    def total_airtime_s(self) -> float:
+        """Cumulative transmit airtime (seconds)."""
+        return sum(n.radio.tx_airtime_s for n in self._nodes.values())

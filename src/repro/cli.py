@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+A small operational surface mirroring what the demo showed on the serial
+console, plus planning helpers::
+
+    python -m repro.cli demo                     # the 4-node live demo
+    python -m repro.cli simulate --nodes 6 --topology grid --duration 1800
+    python -m repro.cli airtime --payload 24 --sf 7 9 12
+    python -m repro.cli plan --spacing 120      # does this placement mesh?
+
+Every subcommand is deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.phy.airtime import time_on_air
+from repro.phy.link import LinkBudget
+from repro.phy.modulation import LoRaParams, SpreadingFactor
+from repro.phy.pathloss import LogDistancePathLoss
+from repro.topology.graphs import connectivity_graph, graph_stats
+from repro.topology.placement import grid_positions, line_positions, ring_positions
+
+
+def _make_positions(topology: str, nodes: int, spacing: float):
+    if topology == "line":
+        return line_positions(nodes, spacing_m=spacing)
+    if topology == "grid":
+        side = max(2, round(nodes**0.5))
+        rows = (nodes + side - 1) // side
+        return grid_positions(rows, side, spacing_m=spacing)[:nodes]
+    if topology == "ring":
+        return ring_positions(nodes, radius_m=spacing)
+    raise ValueError(f"unknown topology {topology!r}")
+
+
+def _config(args: argparse.Namespace) -> MesherConfig:
+    return MesherConfig(
+        hello_period_s=args.hello_period,
+        route_timeout_s=max(args.route_timeout, args.hello_period * 1.5),
+        purge_period_s=max(args.hello_period / 4, 5.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_demo(args: argparse.Namespace) -> int:
+    """The paper's demo: 4 nodes, convergence, a routed exchange."""
+    config = _config(args)
+    net = MeshNetwork.from_positions(line_positions(4), config=config, seed=args.seed)
+    print("Converging a 4-node line (120 m spacing, SF7) ...")
+    convergence = net.run_until_converged(timeout_s=7200.0)
+    if convergence is None:
+        print("did not converge", file=sys.stderr)
+        return 1
+    print(f"converged after {convergence:.0f} s\n")
+    print(net.describe())
+    a, d = net.nodes[0], net.nodes[-1]
+    a.send_datagram(d.address, b"hello mesh")
+    net.run(for_s=60.0)
+    message = d.receive()
+    print(f"\n{d.name} received {message.payload!r} from {message.src:04X}")
+    return 0
+
+
+def _resolve_positions(args: argparse.Namespace):
+    """Positions from --layout (a JSON deployment file) or the generator
+    flags; returns (positions, layout_or_none)."""
+    if getattr(args, "layout", None):
+        from repro.topology.layout import load_layout
+
+        layout = load_layout(args.layout)
+        return layout.positions(), layout
+    return _make_positions(args.topology, args.nodes, args.spacing), None
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run a mesh and report routing/traffic/duty statistics."""
+    positions, layout = _resolve_positions(args)
+    config = _config(args)
+    if layout is not None:
+        config = config.replace(lora=layout.params())
+    net = MeshNetwork.from_positions(positions, config=config, seed=args.seed, trace_enabled=False)
+    capture = None
+    if args.capture:
+        from repro.trace.capture import AirCapture
+
+        capture = AirCapture(net.medium)
+    convergence = net.run_until_converged(timeout_s=args.duration)
+    remaining = args.duration - net.sim.now
+    if remaining > 0:
+        net.run(for_s=remaining)
+    rows = []
+    for node in net.nodes:
+        rows.append(
+            (
+                node.name,
+                node.table.size,
+                node.stats.frames_sent,
+                node.stats.data_forwarded,
+                f"{node.radio.tx_airtime_s:.2f}",
+                f"{node.duty.window_utilisation(net.sim.now) * 100:.3f}%",
+            )
+        )
+    print(
+        format_table(
+            ["node", "routes", "frames", "forwarded", "TX airtime (s)", "duty"],
+            rows,
+            title=(
+                f"{args.topology} x{args.nodes}, {args.duration:.0f} s, "
+                f"converged at {convergence:.0f} s"
+                if convergence is not None
+                else f"{args.topology} x{args.nodes}: DID NOT CONVERGE"
+            ),
+        )
+    )
+    if capture is not None:
+        path = capture.export_jsonl(args.capture)
+        print(f"\nair capture: {len(capture)} frames written to {path}")
+    return 0 if convergence is not None else 1
+
+
+def cmd_ping(args: argparse.Namespace) -> int:
+    """End-to-end reachability/RTT check across a line topology."""
+    from repro.apps.ping import Pinger, deploy_responders
+
+    config = _config(args)
+    positions = _make_positions(args.topology, args.nodes, args.spacing)
+    net = MeshNetwork.from_positions(positions, config=config, seed=args.seed, trace_enabled=False)
+    convergence = net.run_until_converged(timeout_s=7200.0)
+    if convergence is None:
+        print("mesh did not converge", file=sys.stderr)
+        return 1
+    deploy_responders(net.nodes)
+    source, target = net.nodes[0], net.nodes[-1]
+    hops = source.table.metric(target.address)
+    print(
+        f"PING {target.name} from {source.name} "
+        f"({hops} hops, converged at {convergence:.0f} s)"
+    )
+    pinger = Pinger(source)
+    result = pinger.ping(target.address, count=args.count, interval_s=args.interval)
+    net.run(for_s=args.count * args.interval + 120.0)
+    print(result.format())
+    return 0 if result.received == result.sent else 1
+
+
+def cmd_airtime(args: argparse.Namespace) -> int:
+    """Time-on-air table for a payload size across spreading factors."""
+    rows = []
+    for sf_value in args.sf:
+        sf = SpreadingFactor(sf_value)
+        params = LoRaParams(spreading_factor=sf)
+        toa = time_on_air(args.payload, params)
+        per_hour = 3600.0 * 0.01 / toa  # EU868 budget
+        rows.append((sf.name, f"{toa * 1000:.1f}", f"{per_hour:.0f}"))
+    print(
+        format_table(
+            ["SF", "ToA (ms)", "frames/hour within EU868 1%"],
+            rows,
+            title=f"{args.payload} B PHY payload, BW125, CR4/5",
+        )
+    )
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Connectivity check for a placement before deploying it."""
+    positions = _make_positions(args.topology, args.nodes, args.spacing)
+    budget = LinkBudget(LogDistancePathLoss())
+    if args.auto_sf:
+        from repro.topology.planning import minimum_connecting_sf
+
+        chosen = minimum_connecting_sf(positions, budget)
+        if chosen is None:
+            print("no spreading factor connects this placement; add nodes")
+            return 1
+        print(f"cheapest connecting spreading factor: {chosen.name}")
+        sf_value = int(chosen)
+    else:
+        sf_value = args.sf[0]
+    params = LoRaParams(spreading_factor=SpreadingFactor(sf_value))
+    graph = connectivity_graph(positions, budget, params)
+    stats = graph_stats(graph)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("nodes", stats.nodes),
+                ("links", stats.edges),
+                ("connected", "yes" if stats.connected else "NO"),
+                ("components", stats.components),
+                ("diameter (hops)", stats.diameter if stats.connected else "-"),
+                ("mean degree", f"{stats.mean_degree:.2f}"),
+            ],
+            title=f"{args.topology} x{args.nodes} at {args.spacing:.0f} m, SF{sf_value}",
+        )
+    )
+    return 0 if stats.connected else 1
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LoRaMesher reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0, help="master RNG seed")
+        p.add_argument("--hello-period", type=float, default=60.0, help="hello period (s)")
+        p.add_argument("--route-timeout", type=float, default=300.0, help="route timeout (s)")
+
+    demo = sub.add_parser("demo", help="run the paper's 4-node demo")
+    common(demo)
+    demo.set_defaults(func=cmd_demo)
+
+    simulate = sub.add_parser("simulate", help="run a mesh and report statistics")
+    common(simulate)
+    simulate.add_argument("--nodes", type=int, default=4)
+    simulate.add_argument("--topology", choices=("line", "grid", "ring"), default="line")
+    simulate.add_argument("--spacing", type=float, default=120.0, help="node spacing (m)")
+    simulate.add_argument("--duration", type=float, default=1800.0, help="simulated seconds")
+    simulate.add_argument(
+        "--capture", metavar="PATH", default=None,
+        help="write an air capture (JSON lines) of every frame to PATH",
+    )
+    simulate.add_argument(
+        "--layout", metavar="PATH", default=None,
+        help="run a JSON deployment layout instead of a generated topology",
+    )
+    simulate.set_defaults(func=cmd_simulate)
+
+    ping = sub.add_parser("ping", help="end-to-end reachability/RTT check")
+    common(ping)
+    ping.add_argument("--nodes", type=int, default=4)
+    ping.add_argument("--topology", choices=("line", "grid", "ring"), default="line")
+    ping.add_argument("--spacing", type=float, default=120.0)
+    ping.add_argument("--count", type=int, default=5, help="echo requests to send")
+    ping.add_argument("--interval", type=float, default=15.0, help="seconds between requests")
+    ping.set_defaults(func=cmd_ping)
+
+    airtime = sub.add_parser("airtime", help="time-on-air table")
+    airtime.add_argument("--payload", type=int, default=24, help="PHY payload bytes")
+    airtime.add_argument(
+        "--sf", type=int, nargs="+", default=[7, 8, 9, 10, 11, 12], help="spreading factors"
+    )
+    airtime.set_defaults(func=cmd_airtime)
+
+    plan = sub.add_parser("plan", help="connectivity check for a placement")
+    plan.add_argument("--nodes", type=int, default=4)
+    plan.add_argument("--topology", choices=("line", "grid", "ring"), default="line")
+    plan.add_argument("--spacing", type=float, default=120.0)
+    plan.add_argument("--sf", type=int, nargs="+", default=[7])
+    plan.add_argument(
+        "--auto-sf", action="store_true",
+        help="pick the cheapest spreading factor that connects the placement",
+    )
+    plan.set_defaults(func=cmd_plan)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""The experiment harness behind ``benchmarks/``.
+
+* :mod:`repro.experiments.runner` — builds a network of the requested
+  protocol (mesh / flooding / star / oracle), attaches probe traffic and
+  a flow recorder, runs it, and returns a uniform result record,
+* :mod:`repro.experiments.sweep` — parameter sweeps with per-point seed
+  repetition and aggregation,
+* :mod:`repro.experiments.report` — fixed-width table printing so every
+  bench emits the same row format the paper's tables would.
+"""
+
+from repro.experiments.runner import Protocol, RunResult, TrafficSpec, run_protocol
+from repro.experiments.report import format_table, print_table
+from repro.experiments.sweep import repeat_seeds, sweep_grid
+from repro.experiments.ascii_plot import ascii_plot, print_plot
+from repro.experiments.export import ExperimentRecord, export_records, load_records
+from repro.experiments.regression import ComparisonReport, compare_files, compare_records
+
+__all__ = [
+    "Protocol",
+    "TrafficSpec",
+    "RunResult",
+    "run_protocol",
+    "print_table",
+    "format_table",
+    "sweep_grid",
+    "repeat_seeds",
+    "ascii_plot",
+    "print_plot",
+    "ExperimentRecord",
+    "export_records",
+    "load_records",
+    "ComparisonReport",
+    "compare_files",
+    "compare_records",
+]

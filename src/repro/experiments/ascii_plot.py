@@ -1,0 +1,109 @@
+"""ASCII line/scatter plots for figure-shaped benchmark output.
+
+The paper's evaluation has figure-shaped artifacts (curves over a swept
+parameter) as well as tables.  The benches render those as fixed-width
+ASCII charts so the figure's *shape* — slopes, crossovers, plateaus — is
+visible directly in the harness output, with the exact series printed as
+a table beside it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+#: Glyphs assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Dict[str, Series],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on one shared-axes ASCII chart.
+
+    Points outside a degenerate range are handled by padding the axes;
+    NaN/inf points are skipped.  Returns the chart as a string.
+    """
+    if not series:
+        raise ValueError("ascii_plot needs at least one series")
+    points = [
+        (x, y)
+        for data in series.values()
+        for x, y in data
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+    if not points:
+        raise ValueError("no finite points to plot")
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_min, x_max = x_min - 1.0, x_max + 1.0
+    if y_max == y_min:
+        y_min, y_max = y_min - 1.0, y_max + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> Tuple[int, int]:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        return (height - 1 - row), col
+
+    for (name, data), marker in zip(series.items(), _MARKERS):
+        for x, y in data:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            row, col = to_cell(x, y)
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"  [{y_label}]")
+    y_top = _format_tick(y_max)
+    y_bottom = _format_tick(y_min)
+    label_width = max(len(y_top), len(y_bottom))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_top.rjust(label_width)
+        elif i == height - 1:
+            prefix = y_bottom.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = "-" * width
+    lines.append(f"{' ' * label_width} +{axis}")
+    x_left = _format_tick(x_min)
+    x_right = _format_tick(x_max)
+    gap = max(1, width - len(x_left) - len(x_right))
+    lines.append(f"{' ' * label_width}  {x_left}{' ' * gap}{x_right}")
+    if x_label:
+        lines.append(f"{' ' * label_width}  [{x_label}]")
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)
+
+
+def print_plot(series: Dict[str, Series], **kwargs) -> None:
+    """Print an :func:`ascii_plot` (with a leading blank line)."""
+    print()
+    print(ascii_plot(series, **kwargs))
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"

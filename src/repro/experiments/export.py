@@ -1,0 +1,106 @@
+"""JSON export of experiment results.
+
+Benchmarks print human-readable tables; downstream analysis (plotting,
+regression tracking across commits) wants machine-readable records.  The
+exporter serialises :class:`~repro.experiments.runner.RunResult` objects
+and free-form row tables into a stable JSON schema.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.experiments.runner import RunResult
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class ExperimentRecord:
+    """One exported experiment: identity, parameters, measured rows."""
+
+    experiment_id: str
+    description: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    columns: List[str] = field(default_factory=list)
+    rows: List[List[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one measurement row (must match ``columns`` width)."""
+        if self.columns and len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, columns define {len(self.columns)}"
+            )
+        self.rows.append([_jsonable(v) for v in values])
+
+
+def run_result_summary(result: RunResult) -> Dict[str, Any]:
+    """The standard scalar summary of one RunResult."""
+    return {
+        "protocol": result.protocol.value,
+        "duration_s": result.duration_s,
+        "convergence_time_s": result.convergence_time_s,
+        "pdr": result.pdr,
+        "mean_latency_s": result.mean_latency_s,
+        "sent": result.recorder.total_sent(),
+        "delivered": result.recorder.total_delivered(),
+        "duplicates": result.recorder.total_duplicates(),
+        "frames_sent": result.overhead.frames_sent,
+        "bytes_sent": result.overhead.bytes_sent,
+        "airtime_s": result.overhead.airtime_s,
+        "airtime_per_delivered_byte_ms": _jsonable(
+            result.overhead.airtime_per_delivered_byte_ms
+        ),
+        "duty_cycle_peak": result.overhead.duty_cycle_peak,
+    }
+
+
+def export_records(
+    records: Sequence[ExperimentRecord],
+    path: Union[str, Path],
+    *,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write records to ``path`` as a single JSON document; returns it."""
+    path = Path(path)
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "metadata": metadata or {},
+        "experiments": [asdict(record) for record in records],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path
+
+
+def load_records(path: Union[str, Path]) -> List[ExperimentRecord]:
+    """Read back a document written by :func:`export_records`."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {version!r}")
+    return [
+        ExperimentRecord(
+            experiment_id=entry["experiment_id"],
+            description=entry["description"],
+            parameters=entry["parameters"],
+            columns=entry["columns"],
+            rows=entry["rows"],
+        )
+        for entry in document["experiments"]
+    ]
+
+
+def _jsonable(value: Any) -> Any:
+    """Map non-JSON floats to strings so round-trips stay lossless-ish."""
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == float("-inf"):
+            return "-inf"
+    return value

@@ -1,0 +1,142 @@
+"""Result-file regression comparison.
+
+Benchmarks export their rows via :mod:`repro.experiments.export`; this
+module diffs two such documents (e.g. "last release" vs "this branch")
+with per-column tolerances, so substrate changes that silently move
+experiment numbers get caught in review.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.experiments.export import ExperimentRecord, load_records
+
+
+@dataclass(frozen=True)
+class Difference:
+    """One detected deviation between baseline and candidate."""
+
+    experiment_id: str
+    kind: str  # "missing", "extra", "shape", "value"
+    detail: str
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing two result documents."""
+
+    differences: List[Difference] = field(default_factory=list)
+    compared_experiments: int = 0
+    compared_cells: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing deviated beyond tolerance."""
+        return not self.differences
+
+    def format(self) -> str:
+        """Human-readable report."""
+        if self.ok:
+            return (
+                f"OK: {self.compared_experiments} experiments, "
+                f"{self.compared_cells} cells within tolerance"
+            )
+        lines = [f"{len(self.differences)} difference(s):"]
+        for diff in self.differences:
+            lines.append(f"  [{diff.experiment_id}] {diff.kind}: {diff.detail}")
+        return "\n".join(lines)
+
+
+def compare_records(
+    baseline: List[ExperimentRecord],
+    candidate: List[ExperimentRecord],
+    *,
+    rel_tolerance: float = 0.10,
+    abs_tolerance: float = 1e-9,
+) -> ComparisonReport:
+    """Compare two record lists cell by cell.
+
+    Numeric cells must agree within ``rel_tolerance`` (relative) or
+    ``abs_tolerance`` (absolute, for near-zero values); non-numeric cells
+    must match exactly.  Missing/extra experiments and shape mismatches
+    are reported as differences, never exceptions — the report is for
+    humans and CI gates.
+    """
+    report = ComparisonReport()
+    base_by_id = {record.experiment_id: record for record in baseline}
+    cand_by_id = {record.experiment_id: record for record in candidate}
+
+    for experiment_id in base_by_id:
+        if experiment_id not in cand_by_id:
+            report.differences.append(
+                Difference(experiment_id, "missing", "experiment absent from candidate")
+            )
+    for experiment_id in cand_by_id:
+        if experiment_id not in base_by_id:
+            report.differences.append(
+                Difference(experiment_id, "extra", "experiment absent from baseline")
+            )
+
+    for experiment_id, base in base_by_id.items():
+        cand = cand_by_id.get(experiment_id)
+        if cand is None:
+            continue
+        report.compared_experiments += 1
+        if base.columns != cand.columns or len(base.rows) != len(cand.rows):
+            report.differences.append(
+                Difference(
+                    experiment_id,
+                    "shape",
+                    f"columns/rows {len(base.columns)}x{len(base.rows)} vs "
+                    f"{len(cand.columns)}x{len(cand.rows)}",
+                )
+            )
+            continue
+        for row_index, (brow, crow) in enumerate(zip(base.rows, cand.rows)):
+            for col_index, (b, c) in enumerate(zip(brow, crow)):
+                report.compared_cells += 1
+                label = (
+                    base.columns[col_index]
+                    if col_index < len(base.columns)
+                    else f"col{col_index}"
+                )
+                if not _cell_matches(b, c, rel_tolerance, abs_tolerance):
+                    report.differences.append(
+                        Difference(
+                            experiment_id,
+                            "value",
+                            f"row {row_index} {label}: {b!r} -> {c!r}",
+                        )
+                    )
+    return report
+
+
+def compare_files(
+    baseline_path: Union[str, Path],
+    candidate_path: Union[str, Path],
+    **kwargs,
+) -> ComparisonReport:
+    """Load two exported documents and compare them."""
+    return compare_records(
+        load_records(baseline_path), load_records(candidate_path), **kwargs
+    )
+
+
+def _cell_matches(b, c, rel: float, abs_tol: float) -> bool:
+    b_num, c_num = _as_number(b), _as_number(c)
+    if b_num is not None and c_num is not None:
+        if b_num == c_num:
+            return True
+        return abs(c_num - b_num) <= max(abs_tol, rel * abs(b_num))
+    return b == c
+
+
+def _as_number(value) -> Optional[float]:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None

@@ -1,0 +1,305 @@
+"""Protocol-agnostic experiment execution.
+
+:func:`run_protocol` is the one entry point every benchmark uses: it
+builds the requested protocol stack over a placement, attaches probe
+traffic and a :class:`~repro.metrics.collect.FlowRecorder`, runs the
+scenario, and returns a :class:`RunResult` with the measurements every
+table needs (PDR, latency, overhead, convergence time).
+
+Because all four protocols run on the identical kernel/PHY/medium/radio
+substrate, differences in the result rows isolate the protocol itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.aodv import AodvNetwork
+from repro.baselines.flooding import FloodingNetwork
+from repro.baselines.idealrouter import build_oracle_network
+from repro.baselines.star import StarNetwork
+from repro.metrics.collect import FlowRecorder, OverheadSummary, attach_recorder, overhead_summary
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.phy.modulation import LoRaParams
+from repro.phy.pathloss import PathLossModel, Position
+from repro.sim.rng import RngRegistry
+from repro.workload.probes import PROBE_OVERHEAD
+from repro.workload.traffic import PeriodicSender, PoissonSender
+
+
+class Protocol(enum.Enum):
+    """Which stack to run the scenario on."""
+
+    MESH = "mesh"
+    FLOODING = "flooding"
+    STAR = "star"
+    ORACLE = "oracle"
+    AODV = "aodv"
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One probe flow, by placement index (resolved to addresses later)."""
+
+    src_index: int
+    dst_index: int
+    period_s: float = 60.0
+    payload_size: int = max(24, PROBE_OVERHEAD)
+    poisson: bool = False
+
+    def __post_init__(self) -> None:
+        if self.src_index == self.dst_index:
+            raise ValueError("a flow needs distinct endpoints")
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark row is computed from."""
+
+    protocol: Protocol
+    recorder: FlowRecorder
+    network: object  # MeshNetwork | FloodingNetwork | StarNetwork
+    duration_s: float
+    convergence_time_s: Optional[float]
+    overhead: OverheadSummary
+
+    @property
+    def pdr(self) -> float:
+        """Aggregate packet-delivery ratio."""
+        return self.recorder.aggregate_pdr()
+
+    @property
+    def mean_latency_s(self) -> Optional[float]:
+        """Mean delivery latency across flows (None if nothing arrived)."""
+        latencies = self.recorder.all_latencies()
+        return sum(latencies) / len(latencies) if latencies else None
+
+
+def run_protocol(
+    protocol: Protocol,
+    positions: Sequence[Position],
+    traffic: Sequence[TrafficSpec],
+    *,
+    duration_s: float,
+    seed: int = 0,
+    config: Optional[MesherConfig] = None,
+    params: Optional[LoRaParams] = None,
+    pathloss: Optional[PathLossModel] = None,
+    converge_first: bool = True,
+    converge_timeout_s: float = 3600.0,
+    drain_s: float = 120.0,
+    star_gateway_index: Optional[int] = None,
+) -> RunResult:
+    """Run one scenario and measure it.
+
+    For MESH the network first runs until the routing tables converge
+    (``converge_first``), then traffic flows for ``duration_s``, then a
+    ``drain_s`` tail lets in-flight packets land.  FLOODING/STAR have no
+    routing state and skip the warm-up; ORACLE starts converged by
+    construction.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    recorder = FlowRecorder()
+
+    if protocol in (Protocol.MESH, Protocol.ORACLE):
+        if protocol is Protocol.MESH:
+            net = MeshNetwork.from_positions(
+                positions, config=config, seed=seed, pathloss=pathloss, trace_enabled=False
+            )
+        else:
+            net = build_oracle_network(positions, config=config, seed=seed, pathloss=pathloss)
+        convergence = None
+        if protocol is Protocol.MESH and converge_first:
+            convergence = net.run_until_converged(timeout_s=converge_timeout_s)
+        senders = _attach_mesh_traffic(net, traffic, recorder, seed)
+        net.run(for_s=duration_s)
+        for sender in senders:
+            sender.stop()
+        net.run(for_s=drain_s)
+        nodes = net.nodes
+        sim_now = net.sim.now
+    elif protocol is Protocol.FLOODING:
+        net = FloodingNetwork(positions, seed=seed, params=params, pathloss=pathloss)
+        convergence = 0.0
+        senders = _attach_flood_traffic(net, traffic, recorder, seed)
+        net.run(for_s=duration_s)
+        for sender in senders:
+            sender.stop()
+        net.run(for_s=drain_s)
+        nodes = net.nodes
+        sim_now = net.sim.now
+    elif protocol is Protocol.AODV:
+        net = AodvNetwork(positions, seed=seed, params=params, pathloss=pathloss)
+        convergence = 0.0  # reactive: no proactive convergence phase
+        senders = _attach_flood_traffic(net, traffic, recorder, seed)  # same send() shape
+        net.run(for_s=duration_s)
+        for sender in senders:
+            sender.stop()
+        net.run(for_s=drain_s)
+        nodes = net.nodes
+        sim_now = net.sim.now
+    elif protocol is Protocol.STAR:
+        # The gateway defaults to the most central placement position —
+        # the best case for the star — and must not source any flow.
+        gateway_index = (
+            star_gateway_index if star_gateway_index is not None else _central_index(positions)
+        )
+        used = {spec.src_index for spec in traffic} | {spec.dst_index for spec in traffic}
+        if gateway_index in used:
+            free = [i for i in range(len(positions)) if i not in used]
+            if not free:
+                raise ValueError("no placement position left for the star gateway")
+            gateway_index = min(
+                free, key=lambda i: _centrality_cost(positions, i)
+            )
+        net = StarNetwork(
+            positions, seed=seed, params=params, pathloss=pathloss, gateway_index=gateway_index
+        )
+        convergence = 0.0
+        senders = _attach_star_traffic(net, traffic, recorder, seed)
+        net.run(for_s=duration_s)
+        for sender in senders:
+            sender.stop()
+        net.run(for_s=drain_s)
+        nodes = [net.node(a) for a in net.addresses]
+        sim_now = net.sim.now
+    else:  # pragma: no cover
+        raise ValueError(f"unknown protocol {protocol}")
+
+    return RunResult(
+        protocol=protocol,
+        recorder=recorder,
+        network=net,
+        duration_s=duration_s,
+        convergence_time_s=convergence,
+        overhead=overhead_summary(nodes, recorder, now=sim_now),
+    )
+
+
+# ----------------------------------------------------------------------
+# Placement helpers
+# ----------------------------------------------------------------------
+def _centrality_cost(positions: Sequence[Position], index: int) -> float:
+    """Sum of distances from one position to all others (lower = central)."""
+    x, y = positions[index]
+    return sum(((x - px) ** 2 + (y - py) ** 2) ** 0.5 for px, py in positions)
+
+
+def _central_index(positions: Sequence[Position]) -> int:
+    """Index of the most central placement position."""
+    return min(range(len(positions)), key=lambda i: _centrality_cost(positions, i))
+
+
+# ----------------------------------------------------------------------
+# Traffic attachment per stack
+# ----------------------------------------------------------------------
+def _make_sender(sim, src_addr, dst_addr, send_fn, spec: TrafficSpec, recorder, rng):
+    if spec.poisson:
+        return PoissonSender(
+            sim,
+            src_addr,
+            dst_addr,
+            send_fn,
+            mean_interval_s=spec.period_s,
+            rng=rng,
+            payload_size=spec.payload_size,
+            listener=recorder,
+        )
+    return PeriodicSender(
+        sim,
+        src_addr,
+        dst_addr,
+        send_fn,
+        period_s=spec.period_s,
+        rng=rng,
+        payload_size=spec.payload_size,
+        listener=recorder,
+    )
+
+
+def _attach_mesh_traffic(net: MeshNetwork, traffic, recorder, seed) -> List:
+    rngs = RngRegistry(seed).fork("traffic")
+    addresses = net.addresses
+    for node in net.nodes:
+        attach_recorder(recorder, node)
+    senders = []
+    for i, spec in enumerate(traffic):
+        src = addresses[spec.src_index]
+        dst = addresses[spec.dst_index]
+        node = net.node(src)
+        senders.append(
+            _make_sender(
+                net.sim, src, dst, node.send_datagram, spec, recorder, rngs.stream(f"flow{i}")
+            )
+        )
+    return senders
+
+
+def _attach_flood_traffic(net: FloodingNetwork, traffic, recorder, seed) -> List:
+    rngs = RngRegistry(seed).fork("traffic")
+    addresses = net.addresses
+    for node in net.nodes:
+        attach_recorder(recorder, node)
+    senders = []
+    for i, spec in enumerate(traffic):
+        src = addresses[spec.src_index]
+        dst = addresses[spec.dst_index]
+        node = net.node(src)
+        senders.append(
+            _make_sender(net.sim, src, dst, node.send, spec, recorder, rngs.stream(f"flow{i}"))
+        )
+    return senders
+
+
+def _attach_star_traffic(net: StarNetwork, traffic, recorder, seed) -> List:
+    rngs = RngRegistry(seed).fork("traffic")
+    addresses = net.addresses
+    for address in addresses:
+        attach_recorder(recorder, net.node(address))
+    senders = []
+    for i, spec in enumerate(traffic):
+        src = addresses[spec.src_index]
+        dst = addresses[spec.dst_index]
+        node = net.node(src)
+        if not hasattr(node, "send"):
+            raise ValueError("star traffic must originate at end nodes, not the gateway")
+        senders.append(
+            _make_sender(net.sim, src, dst, node.send, spec, recorder, rngs.stream(f"flow{i}"))
+        )
+    return senders
+
+
+def all_pairs_traffic(
+    n_nodes: int, *, period_s: float = 120.0, payload_size: int = 24, limit: Optional[int] = None
+) -> List[TrafficSpec]:
+    """Every ordered pair as a flow (optionally capped), for load tests."""
+    specs = []
+    for i in range(n_nodes):
+        for j in range(n_nodes):
+            if i != j:
+                specs.append(
+                    TrafficSpec(src_index=i, dst_index=j, period_s=period_s, payload_size=payload_size)
+                )
+    return specs[:limit] if limit is not None else specs
+
+
+def endpoint_traffic(
+    n_nodes: int, *, period_s: float = 60.0, payload_size: int = 24, bidirectional: bool = True
+) -> List[TrafficSpec]:
+    """The demo's flow: first node <-> last node across the mesh."""
+    specs = [
+        TrafficSpec(src_index=0, dst_index=n_nodes - 1, period_s=period_s, payload_size=payload_size)
+    ]
+    if bidirectional and n_nodes > 1:
+        specs.append(
+            TrafficSpec(
+                src_index=n_nodes - 1, dst_index=0, period_s=period_s, payload_size=payload_size
+            )
+        )
+    return specs

@@ -1,0 +1,47 @@
+"""Parameter sweeps with seed repetition.
+
+The benchmarks sweep one or two knobs (network size, hello period, loss
+rate...) and repeat each point over several seeds; these helpers keep the
+iteration and aggregation uniform across bench files.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.metrics.stats import confidence_interval_95, mean
+
+
+def sweep_grid(**axes: Sequence[Any]) -> Iterator[Dict[str, Any]]:
+    """Cartesian product of named axes, yielded as dicts.
+
+    >>> list(sweep_grid(n=[2, 3], sf=[7]))
+    [{'n': 2, 'sf': 7}, {'n': 3, 'sf': 7}]
+    """
+    names = list(axes)
+    for combo in itertools.product(*(axes[name] for name in names)):
+        yield dict(zip(names, combo))
+
+
+def repeat_seeds(
+    fn: Callable[[int], float], seeds: Iterable[int]
+) -> Tuple[float, float, List[float]]:
+    """Run ``fn(seed)`` per seed; returns (mean, 95%-CI half-width, raw).
+
+    Points where ``fn`` returns None (e.g. convergence timeout) are kept
+    out of the mean but preserved in the raw list as ``float('nan')`` so
+    callers can report how many trials failed.
+    """
+    raw: List[float] = []
+    valid: List[float] = []
+    for seed in seeds:
+        value = fn(seed)
+        if value is None:
+            raw.append(float("nan"))
+        else:
+            raw.append(float(value))
+            valid.append(float(value))
+    if not valid:
+        return float("nan"), float("nan"), raw
+    return mean(valid), confidence_interval_95(valid), raw

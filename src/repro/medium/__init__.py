@@ -1,0 +1,12 @@
+"""The shared wireless medium.
+
+One :class:`~repro.medium.channel.Medium` instance models the ether all
+simulated radios share: it tracks in-flight transmissions, decides which
+listeners demodulate which frames (sensitivity, half-duplex deafness,
+co-channel collisions with capture effect, inter-SF quasi-orthogonality),
+and delivers reception callbacks at frame end.
+"""
+
+from repro.medium.channel import Medium, Transmission, ReceptionOutcome, DropReason
+
+__all__ = ["Medium", "Transmission", "ReceptionOutcome", "DropReason"]

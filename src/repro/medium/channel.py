@@ -1,0 +1,360 @@
+"""In-flight transmission tracking and reception resolution.
+
+The model follows the validated LoRaSim / ns-3 LoRa methodology:
+
+* A frame is *receivable* at a listener if the listener was in continuous
+  receive mode for the frame's whole duration, tuned to the same
+  frequency/SF/BW, and the received SNR clears the per-SF demodulation
+  floor.
+* A receivable frame then survives interference if, for **every**
+  transmission that overlapped it in time on the same frequency, the
+  pairwise capture rule of :func:`repro.phy.link.survives_interference`
+  holds at that listener.
+* Reception outcomes are resolved at frame end, with kernel priority
+  ``PRIORITY_HIGH`` so that protocol timers scheduled for the same instant
+  observe the delivered frame.
+
+Simplifications relative to silicon (documented in DESIGN.md): no
+preamble-lock modelling (the stronger frame always captures), and
+interference is evaluated pairwise rather than as aggregate noise — both
+standard in the literature and conservative for protocol evaluation.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import logging
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+from repro.phy.link import LinkBudget, snr_floor_db, noise_floor_dbm, survives_interference
+from repro.phy.modulation import LoRaParams
+from repro.phy.pathloss import Position
+from repro.sim.kernel import PRIORITY_HIGH, Simulator
+
+logger = logging.getLogger(__name__)
+
+
+class MediumListener(Protocol):
+    """What the medium needs to know about an attached radio."""
+
+    node_id: int
+
+    @property
+    def position(self) -> Position: ...
+
+    @property
+    def rx_params(self) -> Optional[LoRaParams]:
+        """Modulation the radio is currently listening with, or None."""
+        ...
+
+    def listening_throughout(self, start: float, end: float) -> bool:
+        """True if the radio was continuously in RX during [start, end]."""
+        ...
+
+    def deliver(self, outcome: "ReceptionOutcome") -> None:
+        """Hand a resolved reception (good or corrupted) to the radio."""
+        ...
+
+
+class DropReason(enum.Enum):
+    """Why a listener did not successfully receive a frame."""
+
+    DELIVERED = "delivered"
+    NOT_LISTENING = "not_listening"
+    WRONG_PARAMS = "wrong_params"
+    BELOW_SENSITIVITY = "below_sensitivity"
+    COLLISION = "collision"
+    INJECTED_LOSS = "injected_loss"
+
+
+@dataclass
+class Transmission:
+    """One frame in flight."""
+
+    tx_id: int  # unique per transmission
+    sender_id: int
+    position: Position
+    params: LoRaParams
+    payload: bytes
+    start: float
+    end: float
+
+    @property
+    def airtime(self) -> float:
+        """Frame duration in seconds."""
+        return self.end - self.start
+
+    def overlaps(self, other: "Transmission") -> bool:
+        """Temporal overlap with another transmission (open interval)."""
+        return self.start < other.end and other.start < self.end
+
+    def same_channel(self, other: "Transmission") -> bool:
+        """Same RF channel (centre frequency and bandwidth)."""
+        return (
+            abs(self.params.frequency_mhz - other.params.frequency_mhz) < 1e-9
+            and self.params.bandwidth == other.params.bandwidth
+        )
+
+
+@dataclass(frozen=True)
+class ReceptionOutcome:
+    """The resolved result of one (transmission, listener) pair."""
+
+    payload: bytes
+    sender_id: int
+    rssi_dbm: float
+    snr_db: float
+    crc_ok: bool
+    start: float
+    end: float
+    params: LoRaParams
+    reason: DropReason
+
+
+#: Optional fault-injection hook: (transmission, listener_id) -> drop?
+LossInjector = Callable[[Transmission, int], bool]
+
+
+class Medium:
+    """The shared channel connecting every radio in a scenario.
+
+    Radios attach once and then call :meth:`begin_transmission`; the medium
+    resolves receptions at frame end and calls ``listener.deliver`` on each
+    attached radio with the outcome (only successful demodulations and
+    CRC-corrupted frames are delivered; frames below sensitivity are
+    silent, as on real hardware).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link_budget: LinkBudget,
+        *,
+        loss_injector: Optional[LossInjector] = None,
+    ) -> None:
+        self._sim = sim
+        self._link = link_budget
+        self._loss_injector = loss_injector
+        self._listeners: Dict[int, MediumListener] = {}
+        self._active: Dict[int, Transmission] = {}
+        #: Transmissions kept past their end for overlap checks against
+        #: frames that started before they ended.
+        self._recent: List[Transmission] = []
+        self._tx_counter = itertools.count()
+        self._stats: Dict[DropReason, int] = {reason: 0 for reason in DropReason}
+        self._transmissions_total = 0
+        #: Optional sniffer hook: called once per completed transmission
+        #: with the per-listener outcomes (see repro.trace.capture).
+        self.on_transmission: Optional[
+            Callable[[Transmission, Dict[int, DropReason]], None]
+        ] = None
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, listener: MediumListener) -> None:
+        """Register a radio; its node_id must be unique on this medium."""
+        if listener.node_id in self._listeners:
+            raise ValueError(f"node id {listener.node_id} already attached")
+        self._listeners[listener.node_id] = listener
+
+    def detach(self, node_id: int) -> None:
+        """Remove a radio (e.g. simulated node failure)."""
+        self._listeners.pop(node_id, None)
+
+    @property
+    def listener_ids(self) -> Tuple[int, ...]:
+        """Node ids of all attached radios, in attachment order."""
+        return tuple(self._listeners)
+
+    @property
+    def link_budget(self) -> LinkBudget:
+        """The link-budget model receptions are evaluated against."""
+        return self._link
+
+    # ------------------------------------------------------------------
+    # Transmission lifecycle
+    # ------------------------------------------------------------------
+    def begin_transmission(
+        self,
+        sender_id: int,
+        position: Position,
+        params: LoRaParams,
+        payload: bytes,
+        airtime: float,
+    ) -> Transmission:
+        """Start a frame on the air; reception resolves at ``now+airtime``."""
+        if airtime <= 0:
+            raise ValueError(f"airtime must be positive, got {airtime}")
+        now = self._sim.now
+        tx = Transmission(
+            tx_id=next(self._tx_counter),
+            sender_id=sender_id,
+            position=position,
+            params=params,
+            payload=payload,
+            start=now,
+            end=now + airtime,
+        )
+        self._active[tx.tx_id] = tx
+        self._transmissions_total += 1
+        self._sim.schedule(
+            airtime,
+            lambda: self._complete(tx),
+            priority=PRIORITY_HIGH,
+            label=f"tx#{tx.tx_id} end",
+        )
+        return tx
+
+    def _complete(self, tx: Transmission) -> None:
+        self._active.pop(tx.tx_id, None)
+        self._recent.append(tx)
+        self._prune_recent(tx.start)
+        outcomes: Dict[int, DropReason] = {}
+        for listener in list(self._listeners.values()):
+            if listener.node_id == tx.sender_id:
+                continue
+            outcome = self._resolve(tx, listener)
+            self._stats[outcome.reason] += 1
+            outcomes[listener.node_id] = outcome.reason
+            if outcome.reason in (DropReason.DELIVERED, DropReason.COLLISION):
+                listener.deliver(outcome)
+        if self.on_transmission is not None:
+            self.on_transmission(tx, outcomes)
+
+    # ------------------------------------------------------------------
+    # Reception resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, tx: Transmission, listener: MediumListener) -> ReceptionOutcome:
+        def drop(reason: DropReason, rssi: float = float("-inf"), snr: float = float("-inf")):
+            return ReceptionOutcome(
+                payload=tx.payload,
+                sender_id=tx.sender_id,
+                rssi_dbm=rssi,
+                snr_db=snr,
+                crc_ok=False,
+                start=tx.start,
+                end=tx.end,
+                params=tx.params,
+                reason=reason,
+            )
+
+        rx_params = listener.rx_params
+        if rx_params is None or not listener.listening_throughout(tx.start, tx.end):
+            return drop(DropReason.NOT_LISTENING)
+        if not self._params_compatible(tx.params, rx_params):
+            return drop(DropReason.WRONG_PARAMS)
+
+        quality = self._link.evaluate(tx.position, listener.position, tx.params)
+        if not quality.above_sensitivity:
+            return drop(DropReason.BELOW_SENSITIVITY, quality.rssi_dbm, quality.snr_db)
+
+        if self._loss_injector is not None and self._loss_injector(tx, listener.node_id):
+            return drop(DropReason.INJECTED_LOSS, quality.rssi_dbm, quality.snr_db)
+
+        if not self._survives_all_interference(tx, listener, quality.rssi_dbm):
+            # Delivered as a CRC-failed frame: real radios raise an RxDone
+            # with PayloadCrcError in this case, which the driver surfaces.
+            return ReceptionOutcome(
+                payload=tx.payload,
+                sender_id=tx.sender_id,
+                rssi_dbm=quality.rssi_dbm,
+                snr_db=quality.snr_db,
+                crc_ok=False,
+                start=tx.start,
+                end=tx.end,
+                params=tx.params,
+                reason=DropReason.COLLISION,
+            )
+
+        return ReceptionOutcome(
+            payload=tx.payload,
+            sender_id=tx.sender_id,
+            rssi_dbm=quality.rssi_dbm,
+            snr_db=quality.snr_db,
+            crc_ok=True,
+            start=tx.start,
+            end=tx.end,
+            params=tx.params,
+            reason=DropReason.DELIVERED,
+        )
+
+    def _survives_all_interference(
+        self, tx: Transmission, listener: MediumListener, signal_dbm: float
+    ) -> bool:
+        for other in self._overlapping(tx):
+            if other.sender_id == listener.node_id:
+                # The listener's own transmission: handled by the
+                # half-duplex listening_throughout check; skip here.
+                continue
+            interferer_dbm = self._link.received_power_dbm(
+                other.position, listener.position, other.params
+            )
+            # LoRa demodulates below the thermal noise floor, so relevance
+            # is relative to the *signal*: an interferer 30+ dB weaker can
+            # never break the 6 dB same-SF capture or the 16 dB inter-SF
+            # rejection margins.
+            if interferer_dbm < signal_dbm - 30.0:
+                continue
+            if not survives_interference(
+                signal_dbm,
+                tx.params.spreading_factor,
+                interferer_dbm,
+                other.params.spreading_factor,
+            ):
+                return False
+        return True
+
+    def _overlapping(self, tx: Transmission) -> List[Transmission]:
+        """All other transmissions overlapping ``tx`` on its channel."""
+        out = []
+        for other in itertools.chain(self._active.values(), self._recent):
+            if other.tx_id == tx.tx_id:
+                continue
+            if other.overlaps(tx) and other.same_channel(tx):
+                out.append(other)
+        return out
+
+    @staticmethod
+    def _params_compatible(tx_params: LoRaParams, rx_params: LoRaParams) -> bool:
+        return (
+            tx_params.spreading_factor == rx_params.spreading_factor
+            and tx_params.bandwidth == rx_params.bandwidth
+            and abs(tx_params.frequency_mhz - rx_params.frequency_mhz) < 1e-9
+        )
+
+    def _prune_recent(self, horizon: float) -> None:
+        """Drop completed transmissions that can no longer overlap anything
+        still active or resolving (ended before ``horizon``)."""
+        self._recent = [t for t in self._recent if t.end > horizon]
+
+    # ------------------------------------------------------------------
+    # Channel sensing
+    # ------------------------------------------------------------------
+    def channel_busy(self, position: Position, params: LoRaParams) -> bool:
+        """CAD-style carrier sense: is any in-flight same-channel
+        transmission audible (above sensitivity) at ``position``?"""
+        for tx in self._active.values():
+            if not Medium._params_compatible(tx.params, params):
+                continue
+            if self._link.in_range(tx.position, position, tx.params):
+                return True
+        return False
+
+    def active_count(self) -> int:
+        """Number of transmissions currently in flight."""
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def transmissions_total(self) -> int:
+        """Total frames ever put on the air."""
+        return self._transmissions_total
+
+    def outcome_counts(self) -> Dict[DropReason, int]:
+        """Per-(transmission, listener) outcome histogram."""
+        return dict(self._stats)

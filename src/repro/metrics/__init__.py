@@ -1,0 +1,27 @@
+"""Measurement: PDR, latency, overhead, convergence, and energy.
+
+* :mod:`repro.metrics.collect` — the :class:`FlowRecorder` that matches
+  probe deliveries to sends, plus network-level overhead summaries,
+* :mod:`repro.metrics.stats` — small-sample statistics helpers,
+* :mod:`repro.metrics.energy` — an SX1276+ESP32 energy model over the
+  radio's per-state residency times.
+"""
+
+from repro.metrics.collect import FlowRecorder, FlowSummary, attach_recorder, overhead_summary
+from repro.metrics.energy import EnergyModel, TTGO_LORA32
+from repro.metrics.health import NetworkHealth, network_health
+from repro.metrics.stats import mean, percentile, summary_stats
+
+__all__ = [
+    "FlowRecorder",
+    "FlowSummary",
+    "attach_recorder",
+    "overhead_summary",
+    "EnergyModel",
+    "TTGO_LORA32",
+    "NetworkHealth",
+    "network_health",
+    "mean",
+    "percentile",
+    "summary_stats",
+]

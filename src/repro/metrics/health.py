@@ -1,0 +1,111 @@
+"""Network health reports.
+
+One call summarises a running :class:`~repro.net.api.MeshNetwork` the way
+an operator dashboard would: routing coverage, per-node protocol and
+radio counters, queue pressure, duty-cycle headroom, and energy.  Used by
+the CLI, handy at the end of any experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.report import format_table
+from repro.metrics.energy import EnergyModel, TTGO_LORA32
+from repro.net.api import MeshNetwork
+
+
+@dataclass(frozen=True)
+class NodeHealth:
+    """One node's health snapshot."""
+
+    name: str
+    routes: int
+    neighbours: int
+    frames_sent: int
+    forwarded: int
+    delivered: int
+    no_route_drops: int
+    crc_failures: int
+    queue_depth: int
+    queue_drops: int
+    duty_utilisation: float
+    tx_airtime_s: float
+    energy_j: float
+
+
+@dataclass(frozen=True)
+class NetworkHealth:
+    """Whole-network snapshot."""
+
+    time_s: float
+    nodes: List[NodeHealth]
+    coverage: float
+    total_frames: int
+    total_airtime_s: float
+    worst_duty: float
+
+    def format(self) -> str:
+        """Render the operator-dashboard view."""
+        rows = [
+            (
+                n.name,
+                n.routes,
+                n.neighbours,
+                n.frames_sent,
+                n.forwarded,
+                n.delivered,
+                n.no_route_drops,
+                n.queue_depth,
+                f"{n.duty_utilisation * 100:.3f}%",
+                f"{n.energy_j:.1f}",
+            )
+            for n in self.nodes
+        ]
+        table = format_table(
+            ["node", "routes", "nbrs", "sent", "fwd", "dlvd", "noroute", "queue", "duty", "J"],
+            rows,
+            title=(
+                f"Network health at t={self.time_s:.0f} s — coverage "
+                f"{self.coverage * 100:.1f}%, {self.total_frames} frames, "
+                f"{self.total_airtime_s:.1f} s airtime, worst duty "
+                f"{self.worst_duty * 100:.3f}%"
+            ),
+        )
+        return table
+
+
+def network_health(
+    net: MeshNetwork, *, energy_model: Optional[EnergyModel] = None
+) -> NetworkHealth:
+    """Snapshot the health of every node in the network."""
+    model = energy_model or TTGO_LORA32
+    now = net.sim.now
+    nodes = []
+    for node in net.nodes:
+        nodes.append(
+            NodeHealth(
+                name=node.name,
+                routes=node.table.size,
+                neighbours=len(node.table.neighbours()),
+                frames_sent=node.stats.frames_sent,
+                forwarded=node.stats.data_forwarded,
+                delivered=node.stats.data_delivered,
+                no_route_drops=node.stats.no_route_drops,
+                crc_failures=node.stats.crc_failures,
+                queue_depth=len(node.send_queue),
+                queue_drops=node.send_queue.dropped,
+                duty_utilisation=node.duty.window_utilisation(now),
+                tx_airtime_s=node.radio.tx_airtime_s,
+                energy_j=model.radio_energy_j(node.radio),
+            )
+        )
+    return NetworkHealth(
+        time_s=now,
+        nodes=nodes,
+        coverage=net.coverage(),
+        total_frames=net.total_frames_sent(),
+        total_airtime_s=net.total_airtime_s(),
+        worst_duty=max((n.duty_utilisation for n in nodes), default=0.0),
+    )

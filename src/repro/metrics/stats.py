@@ -1,0 +1,88 @@
+"""Small statistics helpers for experiment reporting.
+
+Kept dependency-light (pure Python) so the benchmark harness does not pay
+numpy import cost per trial; numpy users can of course convert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input (a silent 0 hides bugs)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """A standard block of summary statistics."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def format(self, unit: str = "") -> str:
+        """One-line rendering for experiment logs."""
+        suffix = f" {unit}" if unit else ""
+        return (
+            f"n={self.count} mean={self.mean:.3f}{suffix} sd={self.stdev:.3f} "
+            f"min={self.minimum:.3f} p50={self.p50:.3f} p95={self.p95:.3f} "
+            f"max={self.maximum:.3f}"
+        )
+
+
+def summary_stats(values: Sequence[float]) -> SummaryStats:
+    """Summarise a sample; raises on empty input."""
+    if not values:
+        raise ValueError("summary of empty sequence")
+    return SummaryStats(
+        count=len(values),
+        mean=mean(values),
+        stdev=stdev(values),
+        minimum=min(values),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+        maximum=max(values),
+    )
+
+
+def confidence_interval_95(values: Sequence[float]) -> float:
+    """Half-width of the normal-approximation 95% CI of the mean."""
+    if len(values) < 2:
+        return 0.0
+    return 1.96 * stdev(values) / math.sqrt(len(values))

@@ -1,0 +1,57 @@
+"""16-bit node addressing.
+
+LoRaMesher derives each node's address from the last two bytes of its
+ESP32 MAC address — small enough to fit LoRa frames, unique enough for the
+network sizes the protocol targets.  We reproduce the derivation and the
+broadcast convention.
+"""
+
+from __future__ import annotations
+
+#: Destination address meaning "every node in radio range".
+BROADCAST_ADDRESS = 0xFFFF
+
+#: The null/unassigned address.
+NULL_ADDRESS = 0x0000
+
+
+def address_from_mac(mac: int) -> int:
+    """Derive a 16-bit mesh address from a (48-bit) MAC address.
+
+    Uses the low two bytes, exactly as the firmware does.  Addresses that
+    would collide with the broadcast or null address are perturbed, since
+    a node must never own either.
+    """
+    if mac < 0:
+        raise ValueError(f"MAC must be non-negative, got {mac}")
+    address = mac & 0xFFFF
+    if address in (BROADCAST_ADDRESS, NULL_ADDRESS):
+        address = (address ^ 0x00FF) or 0x0001
+    return address
+
+
+def is_unicast(address: int) -> bool:
+    """True for a valid single-node destination."""
+    return NULL_ADDRESS < address < BROADCAST_ADDRESS
+
+
+def validate_address(address: int, *, allow_broadcast: bool = False) -> int:
+    """Validate an address field, returning it unchanged.
+
+    Raises ``ValueError`` for out-of-range values, the null address, and —
+    unless ``allow_broadcast`` — the broadcast address.
+    """
+    if not 0 <= address <= 0xFFFF:
+        raise ValueError(f"address {address:#x} does not fit 16 bits")
+    if address == NULL_ADDRESS:
+        raise ValueError("the null address 0x0000 is not addressable")
+    if address == BROADCAST_ADDRESS and not allow_broadcast:
+        raise ValueError("broadcast address not allowed here")
+    return address
+
+
+def format_address(address: int) -> str:
+    """Render an address the way the demo's serial console does."""
+    if address == BROADCAST_ADDRESS:
+        return "BCAST"
+    return f"{address:04X}"

@@ -1,0 +1,100 @@
+"""The data plane: deciding what to do with each received via-packet.
+
+Every non-ROUTING packet carries a ``via`` field naming the next hop.
+When a node receives one it classifies the frame:
+
+* ``DELIVER``  — the node is the final destination (or it's a broadcast),
+* ``FORWARD``  — the node is the named via but not the destination: look
+  up the next hop towards ``dst``, rewrite ``via``, and re-enqueue,
+* ``OVERHEAR`` — the frame is for someone else; the only action is the
+  implicit neighbour refresh (hearing proves the link),
+* ``NO_ROUTE`` — the node should forward but has no route; the frame is
+  dropped (and counted — the paper's DV protocol has no route discovery
+  on demand, routes exist only via hellos).
+
+The classification is pure (no side effects), so it is directly
+property-testable; the mesher applies the resulting action.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro.net.addresses import BROADCAST_ADDRESS
+from repro.net.packets import (
+    AckPacket,
+    DataPacket,
+    LostPacket,
+    NeedAckPacket,
+    SyncPacket,
+    ViaPacket,
+    XLDataPacket,
+)
+from repro.net.routing_table import RoutingTable
+
+
+class ForwardAction(enum.Enum):
+    """What the data plane decided for a received packet."""
+
+    DELIVER = "deliver"
+    FORWARD = "forward"
+    OVERHEAR = "overhear"
+    NO_ROUTE = "no_route"
+
+
+@dataclass(frozen=True)
+class ForwardDecision:
+    """The action plus, for FORWARD, the rewritten packet to enqueue."""
+
+    action: ForwardAction
+    outgoing: Optional[ViaPacket] = None
+    next_hop: Optional[int] = None
+
+
+def classify(packet: ViaPacket, self_address: int, table: RoutingTable) -> ForwardDecision:
+    """Classify a received via-packet for ``self_address``.
+
+    Broadcast data is always delivered locally and never re-forwarded
+    (LoRaMesher broadcasts are single-hop by design — mesh-wide floods
+    are an application concern, cf. the flooding baseline).
+    """
+    if packet.dst == BROADCAST_ADDRESS:
+        return ForwardDecision(action=ForwardAction.DELIVER)
+    if packet.dst == self_address:
+        return ForwardDecision(action=ForwardAction.DELIVER)
+    if packet.via != self_address:
+        return ForwardDecision(action=ForwardAction.OVERHEAR)
+
+    next_hop = table.next_hop(packet.dst)
+    if next_hop is None:
+        return ForwardDecision(action=ForwardAction.NO_ROUTE)
+    outgoing = rewrite_via(packet, next_hop)
+    return ForwardDecision(action=ForwardAction.FORWARD, outgoing=outgoing, next_hop=next_hop)
+
+
+def rewrite_via(packet: ViaPacket, next_hop: int) -> ViaPacket:
+    """A copy of ``packet`` with the via field set to ``next_hop``.
+
+    Source and destination are untouched — the mesh forwards end-to-end
+    packets, it does not re-originate them.
+    """
+    if isinstance(
+        packet, (DataPacket, NeedAckPacket, AckPacket, LostPacket, SyncPacket, XLDataPacket)
+    ):
+        return replace(packet, via=next_hop)
+    raise TypeError(f"cannot rewrite via on {type(packet).__name__}")
+
+
+def initial_via(dst: int, self_address: int, table: RoutingTable) -> Optional[int]:
+    """The via for a locally originated packet towards ``dst``.
+
+    Broadcast maps to the broadcast via.  Returns None when the
+    destination is not in the routing table.
+    """
+    if dst == BROADCAST_ADDRESS:
+        return BROADCAST_ADDRESS
+    if dst == self_address:
+        raise ValueError("refusing to route a packet to self")
+    return table.next_hop(dst)

@@ -1,0 +1,116 @@
+"""Gateway-role support.
+
+LoRaMesher lets nodes advertise *roles* in their routing entries; the one
+the library ships is the **gateway** role, so that sensor-class nodes can
+say "send this to whatever internet-connected node is nearest" without
+configuring an address.  The role bit rides the normal routing
+dissemination: a gateway advertises itself with the GATEWAY flag, every
+hello propagates the flag along with the metric, and any node can resolve
+the closest gateway from its own table.
+
+Usage::
+
+    gw_config = MesherConfig(role=int(NodeRole.GATEWAY))
+    gateway   = net.add_node(0x00G1, position, config=gw_config)
+
+    # on any sensor node, once routing has converged:
+    uplink = GatewayClient(sensor)
+    uplink.send(b"reading")           # routed to the nearest gateway
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.net.mesher import MesherNode
+from repro.net.packets import NodeRole
+from repro.net.reliable import CompletionFn
+from repro.net.routing_table import RouteEntry
+
+
+class NoGatewayError(Exception):
+    """Raised when the routing table knows no gateway-role node."""
+
+
+@dataclass(frozen=True)
+class GatewayInfo:
+    """A reachable gateway as seen from one node's routing table."""
+
+    address: int
+    metric: int
+    via: int
+
+
+def known_gateways(node: MesherNode) -> List[GatewayInfo]:
+    """Every gateway the node can currently route to, nearest first.
+
+    Ties on metric break towards the lower address so that all nodes with
+    identical views pick the same gateway (stable aggregation points).
+    """
+    gateways = [
+        GatewayInfo(address=e.address, metric=e.metric, via=e.via)
+        for e in node.table
+        if e.role & int(NodeRole.GATEWAY)
+    ]
+    gateways.sort(key=lambda g: (g.metric, g.address))
+    return gateways
+
+
+def nearest_gateway(node: MesherNode) -> Optional[GatewayInfo]:
+    """The closest known gateway, or None."""
+    gateways = known_gateways(node)
+    return gateways[0] if gateways else None
+
+
+def is_gateway(node: MesherNode) -> bool:
+    """Whether the node itself advertises the gateway role."""
+    return bool(node.config.role & int(NodeRole.GATEWAY))
+
+
+class GatewayClient:
+    """Address-free uplink: route application payloads to the nearest
+    gateway, re-resolving the target on every send so the choice follows
+    topology changes (a closer gateway joining, the current one dying)."""
+
+    def __init__(self, node: MesherNode) -> None:
+        self._node = node
+        self.sends = 0
+        self.no_gateway_drops = 0
+
+    @property
+    def node(self) -> MesherNode:
+        """The node this client sends from."""
+        return self._node
+
+    def current_target(self) -> Optional[GatewayInfo]:
+        """The gateway the next send would go to."""
+        return nearest_gateway(self._node)
+
+    def send(self, payload: bytes) -> bool:
+        """Unreliable datagram to the nearest gateway.
+
+        Returns False (and counts a drop) when no gateway is known —
+        same semantics as a routeless ``send_datagram``.
+        """
+        target = nearest_gateway(self._node)
+        if target is None:
+            self.no_gateway_drops += 1
+            return False
+        self.sends += 1
+        return self._node.send_datagram(target.address, payload)
+
+    def send_reliable(
+        self, payload: bytes, on_complete: Optional[CompletionFn] = None
+    ) -> Optional[int]:
+        """Reliable delivery to the nearest gateway; returns the stream's
+        seq_id, or None when no gateway is known (``on_complete`` is then
+        called immediately with failure)."""
+        target = nearest_gateway(self._node)
+        if target is None:
+            self.no_gateway_drops += 1
+            if on_complete is not None:
+                on_complete(False, "no gateway known")
+            return None
+        self.sends += 1
+        return self._node.send_reliable(target.address, payload, on_complete)

@@ -1,0 +1,620 @@
+"""Reliable transport: single ACKed packets and large-payload streams.
+
+LoRaMesher offers two reliable primitives on top of the routed mesh:
+
+* **NEED_ACK** — a single packet the receiver must acknowledge; the
+  sender retransmits on timeout up to ``max_retries``.
+* **Large-payload streams** — payloads bigger than one frame are split
+  into ``fragment_size`` pieces.  The sender opens the stream with a
+  SYNC (fragment count + total bytes), then emits XL_DATA fragments
+  paced ``fragment_spacing_s`` apart.  The receiver reassembles; when its
+  gap timer fires with fragments missing it sends a LOST naming the first
+  missing index, and the sender retransmits exactly that fragment.  A
+  final ACK closes the stream.
+
+Everything here is a state machine over the shared kernel: no threads,
+no blocking — the mesher feeds received control packets in and pulls
+outgoing packets through the ``enqueue`` callable.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.config import MesherConfig
+from repro.net.packets import (
+    AckPacket,
+    LostPacket,
+    NeedAckPacket,
+    SyncPacket,
+    ViaPacket,
+    XLDataPacket,
+)
+from repro.sim.kernel import EventHandle, Simulator
+from repro.trace.events import EventKind, TraceRecorder
+
+logger = logging.getLogger(__name__)
+
+#: Completion callback: (success, detail-string).
+CompletionFn = Callable[[bool, str], None]
+#: Hands a packet to the mesher's send queue; returns False on overflow.
+EnqueueFn = Callable[[ViaPacket], bool]
+#: Resolves the current next hop towards an address (None = no route).
+RouteFn = Callable[[int], Optional[int]]
+#: Delivers an assembled payload to the application layer.
+DeliverFn = Callable[[int, bytes], None]
+
+
+def split_payload(payload: bytes, fragment_size: int) -> List[bytes]:
+    """Split ``payload`` into fragments of at most ``fragment_size``."""
+    if fragment_size <= 0:
+        raise ValueError("fragment_size must be positive")
+    if not payload:
+        return [b""]
+    return [payload[i : i + fragment_size] for i in range(0, len(payload), fragment_size)]
+
+
+@dataclass
+class _OutboundSingle:
+    """State of one in-flight NEED_ACK packet."""
+
+    dst: int
+    seq_id: int
+    payload: bytes
+    on_complete: Optional[CompletionFn]
+    retries: int = 0
+    timer: Optional[EventHandle] = None
+
+
+@dataclass
+class _OutboundStream:
+    """Sender-side state of one large-payload stream."""
+
+    dst: int
+    seq_id: int
+    fragments: List[bytes]
+    total_bytes: int
+    on_complete: Optional[CompletionFn]
+    next_index: int = 0  # next fresh fragment to send
+    retries: int = 0
+    pace_timer: Optional[EventHandle] = None
+    ack_timer: Optional[EventHandle] = None
+    retransmit_queue: List[int] = field(default_factory=list)
+
+    @property
+    def all_sent(self) -> bool:
+        return self.next_index >= len(self.fragments) and not self.retransmit_queue
+
+
+@dataclass
+class _InboundStream:
+    """Receiver-side state of one large-payload stream."""
+
+    src: int
+    seq_id: int
+    total_fragments: int
+    total_bytes: int
+    fragments: Dict[int, bytes] = field(default_factory=dict)
+    gap_timer: Optional[EventHandle] = None
+    losts_sent: int = 0
+    losts_since_progress: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return len(self.fragments) >= self.total_fragments
+
+    def first_missing(self) -> Optional[int]:
+        for index in range(self.total_fragments):
+            if index not in self.fragments:
+                return index
+        return None
+
+    def assemble(self) -> bytes:
+        return b"".join(self.fragments[i] for i in range(self.total_fragments))
+
+
+class ReliableTransport:
+    """The per-node reliable-delivery engine."""
+
+    #: How long a (src, seq_id) stays in the duplicate-suppression cache.
+    DEDUP_WINDOW_S = 600.0
+    #: Missing fragments reported per receiver gap timeout.
+    MAX_LOSTS_PER_GAP = 4
+
+    def __init__(
+        self,
+        sim: Simulator,
+        address: int,
+        config: MesherConfig,
+        enqueue: EnqueueFn,
+        route_via: RouteFn,
+        deliver: DeliverFn,
+        *,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self._sim = sim
+        self._address = address
+        self._config = config
+        self._enqueue = enqueue
+        self._route_via = route_via
+        self._deliver = deliver
+        self._trace = trace
+        self._seq_counter = 0
+        self._singles: Dict[int, _OutboundSingle] = {}  # seq_id -> state
+        self._streams: Dict[int, _OutboundStream] = {}  # seq_id -> state
+        self._inbound: Dict[Tuple[int, int], _InboundStream] = {}
+        self._seen_singles: Dict[Tuple[int, int], float] = {}  # (src, seq) -> time
+        #: Recently completed inbound streams: (src, seq) -> (time, total
+        #: fragments).  Lets the receiver re-ACK duplicates after its ACK
+        #: was lost instead of treating retransmissions as a new stream.
+        self._completed_inbound: Dict[Tuple[int, int], Tuple[float, int]] = {}
+
+        # Counters
+        self.streams_started = 0
+        self.streams_completed = 0
+        self.streams_failed = 0
+        self.singles_sent = 0
+        self.singles_completed = 0
+        self.singles_failed = 0
+        self.fragments_sent = 0
+        self.retransmissions = 0
+        self.losts_sent = 0
+        self.acks_sent = 0
+        self.duplicates_suppressed = 0
+
+    # ==================================================================
+    # Sending
+    # ==================================================================
+    def send(self, dst: int, payload: bytes, on_complete: Optional[CompletionFn] = None) -> int:
+        """Reliably deliver ``payload`` to ``dst``; returns the seq_id.
+
+        Payloads that fit one frame use the NEED_ACK path; larger ones
+        open a fragment stream.  ``on_complete(success, detail)`` fires
+        exactly once.
+        """
+        seq_id = self._next_seq()
+        if len(payload) <= self._config.fragment_size:
+            self._start_single(dst, seq_id, payload, on_complete)
+        else:
+            self._start_stream(dst, seq_id, payload, on_complete)
+        return seq_id
+
+    def _next_seq(self) -> int:
+        # Skip ids still in flight so a slow stream is never aliased.
+        for _ in range(256):
+            seq = self._seq_counter
+            self._seq_counter = (self._seq_counter + 1) % 256
+            if seq not in self._singles and seq not in self._streams:
+                return seq
+        raise RuntimeError("all 256 reliable sequence ids are in flight")
+
+    # ------------------------------------------------------------------
+    # NEED_ACK path
+    # ------------------------------------------------------------------
+    def _start_single(
+        self, dst: int, seq_id: int, payload: bytes, on_complete: Optional[CompletionFn]
+    ) -> None:
+        state = _OutboundSingle(dst=dst, seq_id=seq_id, payload=payload, on_complete=on_complete)
+        self._singles[seq_id] = state
+        self.singles_sent += 1
+        self._transmit_single(state)
+
+    def _transmit_single(self, state: _OutboundSingle) -> None:
+        via = self._route_via(state.dst)
+        if via is None or not self._enqueue(
+            NeedAckPacket(
+                dst=state.dst,
+                src=self._address,
+                via=via if via is not None else 0xFFFF,
+                seq_id=state.seq_id,
+                number=0,
+                payload=state.payload,
+            )
+        ):
+            # No route or queue full: treat as a failed attempt and retry.
+            self._arm_single_timer(state)
+            return
+        self._arm_single_timer(state)
+
+    def _arm_single_timer(self, state: _OutboundSingle) -> None:
+        if state.timer is not None:
+            state.timer.cancel()
+        state.timer = self._sim.schedule(
+            self._config.ack_timeout_s,
+            lambda: self._single_timeout(state),
+            label=f"needack#{state.seq_id} timeout",
+        )
+
+    def _single_timeout(self, state: _OutboundSingle) -> None:
+        if state.seq_id not in self._singles:
+            return
+        state.retries += 1
+        if state.retries > self._config.max_retries:
+            del self._singles[state.seq_id]
+            self.singles_failed += 1
+            self._record(EventKind.STREAM_FAILED, seq_id=state.seq_id, dst=state.dst, variant="single")
+            self._complete(state.on_complete, False, "ack timeout")
+            return
+        self.retransmissions += 1
+        self._record(
+            EventKind.FRAGMENT_RETRANSMITTED, seq_id=state.seq_id, dst=state.dst, variant="single"
+        )
+        self._transmit_single(state)
+
+    # ------------------------------------------------------------------
+    # Stream path
+    # ------------------------------------------------------------------
+    def _start_stream(
+        self, dst: int, seq_id: int, payload: bytes, on_complete: Optional[CompletionFn]
+    ) -> None:
+        fragments = split_payload(payload, self._config.fragment_size)
+        if len(fragments) > 0xFFFF:
+            raise ValueError(
+                f"payload needs {len(fragments)} fragments; the wire format caps at 65535"
+            )
+        state = _OutboundStream(
+            dst=dst,
+            seq_id=seq_id,
+            fragments=fragments,
+            total_bytes=len(payload),
+            on_complete=on_complete,
+        )
+        self._streams[seq_id] = state
+        self.streams_started += 1
+        self._record(
+            EventKind.STREAM_STARTED,
+            seq_id=seq_id,
+            dst=dst,
+            fragments=len(fragments),
+            bytes=len(payload),
+        )
+        self._send_sync(state)
+        self._arm_pace_timer(state)
+
+    def _send_sync(self, state: _OutboundStream) -> None:
+        via = self._route_via(state.dst)
+        if via is None:
+            return  # the ack timer / pacing path will retry
+        self._enqueue(
+            SyncPacket(
+                dst=state.dst,
+                src=self._address,
+                via=via,
+                seq_id=state.seq_id,
+                number=len(state.fragments),
+                total_bytes=state.total_bytes,
+            )
+        )
+
+    def _arm_pace_timer(self, state: _OutboundStream) -> None:
+        if state.pace_timer is not None:
+            state.pace_timer.cancel()
+        state.pace_timer = self._sim.schedule(
+            self._config.fragment_spacing_s,
+            lambda: self._pace_tick(state),
+            label=f"stream#{state.seq_id} pace",
+        )
+
+    def _pace_tick(self, state: _OutboundStream) -> None:
+        if state.seq_id not in self._streams:
+            return
+        state.pace_timer = None
+        index: Optional[int] = None
+        if state.retransmit_queue:
+            index = state.retransmit_queue.pop(0)
+        elif state.next_index < len(state.fragments):
+            index = state.next_index
+            state.next_index += 1
+        if index is not None:
+            self._send_fragment(state, index)
+        if state.all_sent:
+            self._arm_ack_timer(state)
+        else:
+            self._arm_pace_timer(state)
+
+    def _send_fragment(self, state: _OutboundStream, index: int) -> None:
+        via = self._route_via(state.dst)
+        if via is None:
+            # Route vanished mid-stream: count as a retry and re-queue.
+            state.retransmit_queue.insert(0, index)
+            self._register_stream_retry(state, "no route")
+            return
+        self._enqueue(
+            XLDataPacket(
+                dst=state.dst,
+                src=self._address,
+                via=via,
+                seq_id=state.seq_id,
+                number=index,
+                payload=state.fragments[index],
+            )
+        )
+        self.fragments_sent += 1
+        self._record(EventKind.FRAGMENT_SENT, seq_id=state.seq_id, index=index, dst=state.dst)
+
+    def _arm_ack_timer(self, state: _OutboundStream) -> None:
+        if state.ack_timer is not None:
+            state.ack_timer.cancel()
+        state.ack_timer = self._sim.schedule(
+            self._config.ack_timeout_s,
+            lambda: self._stream_ack_timeout(state),
+            label=f"stream#{state.seq_id} acktimer",
+        )
+
+    def _stream_ack_timeout(self, state: _OutboundStream) -> None:
+        if state.seq_id not in self._streams:
+            return
+        state.ack_timer = None
+        # Re-send the SYNC (it may never have arrived — without it the
+        # receiver has no reassembly state at all) and nudge with the last
+        # fragment; the receiver answers with LOST or ACK.
+        self._send_sync(state)
+        last = len(state.fragments) - 1
+        if last not in state.retransmit_queue:
+            state.retransmit_queue.append(last)
+        self._register_stream_retry(state, "ack timeout")
+
+    def _register_stream_retry(self, state: _OutboundStream, reason: str) -> None:
+        state.retries += 1
+        if state.retries > self._config.max_retries:
+            self._fail_stream(state, reason)
+            return
+        self.retransmissions += 1
+        self._record(
+            EventKind.FRAGMENT_RETRANSMITTED, seq_id=state.seq_id, dst=state.dst, reason=reason
+        )
+        if state.pace_timer is None:
+            self._arm_pace_timer(state)
+
+    def _fail_stream(self, state: _OutboundStream, reason: str) -> None:
+        self._cancel_stream_timers(state)
+        del self._streams[state.seq_id]
+        self.streams_failed += 1
+        self._record(EventKind.STREAM_FAILED, seq_id=state.seq_id, dst=state.dst, reason=reason)
+        self._complete(state.on_complete, False, reason)
+
+    def _cancel_stream_timers(self, state: _OutboundStream) -> None:
+        if state.pace_timer is not None:
+            state.pace_timer.cancel()
+            state.pace_timer = None
+        if state.ack_timer is not None:
+            state.ack_timer.cancel()
+            state.ack_timer = None
+
+    # ==================================================================
+    # Receiving (called by the mesher for packets addressed to this node)
+    # ==================================================================
+    def handle_need_ack(self, packet: NeedAckPacket) -> None:
+        """Deliver a reliable single packet and acknowledge it."""
+        key = (packet.src, packet.seq_id)
+        now = self._sim.now
+        self._prune_dedup(now)
+        duplicate = key in self._seen_singles
+        self._seen_singles[key] = now
+        self._send_ack(packet.src, packet.seq_id, number=0)
+        if duplicate:
+            self.duplicates_suppressed += 1
+            return
+        self._deliver(packet.src, packet.payload)
+
+    def handle_sync(self, packet: SyncPacket) -> None:
+        """Open (or refresh) an inbound stream."""
+        key = (packet.src, packet.seq_id)
+        self._prune_dedup(self._sim.now)
+        completed = self._completed_inbound.get(key)
+        if completed is not None:
+            # The stream already finished but our ACK was lost: re-ACK.
+            self._send_ack(packet.src, packet.seq_id, number=completed[1])
+            return
+        if key in self._inbound:
+            return  # duplicate SYNC (retransmission); state already exists
+        if packet.number == 0:
+            # Zero-fragment stream: degenerate but well-formed; ACK at once.
+            self._send_ack(packet.src, packet.seq_id, number=0)
+            self._deliver(packet.src, b"")
+            return
+        if len(self._inbound) >= self._config.max_inbound_streams:
+            logger.warning(
+                "node %#06x: inbound stream table full, ignoring SYNC from %#06x",
+                self._address,
+                packet.src,
+            )
+            return
+        stream = _InboundStream(
+            src=packet.src,
+            seq_id=packet.seq_id,
+            total_fragments=packet.number,
+            total_bytes=packet.total_bytes,
+        )
+        self._inbound[key] = stream
+        self._arm_gap_timer(stream)
+
+    def handle_xl_data(self, packet: XLDataPacket) -> None:
+        """Store one fragment; complete or chase gaps as appropriate."""
+        key = (packet.src, packet.seq_id)
+        completed = self._completed_inbound.get(key)
+        if completed is not None:
+            # Late duplicate of a finished stream (our ACK was lost): the
+            # right answer is another ACK, never a LOST — reporting a loss
+            # here would livelock the sender into retransmitting forever.
+            self._send_ack(packet.src, packet.seq_id, number=completed[1])
+            return
+        stream = self._inbound.get(key)
+        if stream is None:
+            # Fragment without SYNC (the SYNC frame was lost): store
+            # nothing (the total is unknown), but wake the sender's repair
+            # path — it re-sends the SYNC on its ack timeout.
+            return
+        if packet.number >= stream.total_fragments:
+            logger.warning(
+                "node %#06x: fragment index %d out of range for stream %s",
+                self._address,
+                packet.number,
+                key,
+            )
+            return
+        if packet.number not in stream.fragments:
+            stream.fragments[packet.number] = packet.payload
+            stream.losts_since_progress = 0
+        if stream.complete:
+            self._finish_inbound(stream)
+        else:
+            self._arm_gap_timer(stream)
+
+    def handle_ack(self, packet: AckPacket) -> None:
+        """Sender side: a single or stream was fully received."""
+        single = self._singles.pop(packet.seq_id, None)
+        if single is not None:
+            if single.timer is not None:
+                single.timer.cancel()
+            self.singles_completed += 1
+            self._complete(single.on_complete, True, "acked")
+            return
+        stream = self._streams.pop(packet.seq_id, None)
+        if stream is not None:
+            self._cancel_stream_timers(stream)
+            self.streams_completed += 1
+            self._record(
+                EventKind.STREAM_COMPLETED,
+                seq_id=stream.seq_id,
+                dst=stream.dst,
+                retries=stream.retries,
+            )
+            self._complete(stream.on_complete, True, "acked")
+
+    def handle_lost(self, packet: LostPacket) -> None:
+        """Sender side: the receiver is missing fragment ``number``."""
+        stream = self._streams.get(packet.seq_id)
+        if stream is None:
+            return  # stale LOST for a finished/failed stream
+        if packet.number >= len(stream.fragments):
+            return
+        # A LOST proves the receiver is alive and reassembling: the repair
+        # conversation is making progress, so the give-up budget resets.
+        stream.retries = 0
+        if packet.number not in stream.retransmit_queue:
+            stream.retransmit_queue.insert(0, packet.number)
+        self.retransmissions += 1
+        self._record(
+            EventKind.FRAGMENT_RETRANSMITTED,
+            seq_id=stream.seq_id,
+            index=packet.number,
+            reason="lost report",
+        )
+        if stream.ack_timer is not None:
+            stream.ack_timer.cancel()
+            stream.ack_timer = None
+        if stream.pace_timer is None:
+            self._arm_pace_timer(stream)
+
+    # ------------------------------------------------------------------
+    # Inbound helpers
+    # ------------------------------------------------------------------
+    def _finish_inbound(self, stream: _InboundStream) -> None:
+        if stream.gap_timer is not None:
+            stream.gap_timer.cancel()
+            stream.gap_timer = None
+        del self._inbound[(stream.src, stream.seq_id)]
+        self._completed_inbound[(stream.src, stream.seq_id)] = (
+            self._sim.now,
+            stream.total_fragments,
+        )
+        payload = stream.assemble()
+        if stream.total_bytes and len(payload) != stream.total_bytes:
+            logger.warning(
+                "node %#06x: stream %d from %#06x reassembled to %d B, SYNC said %d B",
+                self._address,
+                stream.seq_id,
+                stream.src,
+                len(payload),
+                stream.total_bytes,
+            )
+        self._send_ack(stream.src, stream.seq_id, number=stream.total_fragments)
+        self._deliver(stream.src, payload)
+
+    def _arm_gap_timer(self, stream: _InboundStream) -> None:
+        if stream.gap_timer is not None:
+            stream.gap_timer.cancel()
+        stream.gap_timer = self._sim.schedule(
+            self._config.gap_timeout_s,
+            lambda: self._gap_timeout(stream),
+            label=f"stream({stream.src:#06x},{stream.seq_id}) gap",
+        )
+
+    def _gap_timeout(self, stream: _InboundStream) -> None:
+        key = (stream.src, stream.seq_id)
+        if key not in self._inbound:
+            return
+        stream.gap_timer = None
+        stream.losts_since_progress += 1
+        if stream.losts_since_progress > self._config.max_retries:
+            # Sender is gone; abandon reassembly.
+            del self._inbound[key]
+            self._record(
+                EventKind.STREAM_FAILED, seq_id=stream.seq_id, src=stream.src, reason="receiver gave up"
+            )
+            return
+        # Chase up to a handful of gaps per timeout: one LOST per missing
+        # fragment is cheap (11 B frames) and repairing serially at one
+        # fragment per gap period would make lossy multi-hop streams crawl.
+        reported = 0
+        for index in range(stream.total_fragments):
+            if index not in stream.fragments:
+                self._send_lost(stream.src, stream.seq_id, number=index)
+                reported += 1
+                if reported >= self.MAX_LOSTS_PER_GAP:
+                    break
+        self._arm_gap_timer(stream)
+
+    def _send_ack(self, dst: int, seq_id: int, *, number: int) -> None:
+        via = self._route_via(dst)
+        if via is None:
+            return
+        self._enqueue(
+            AckPacket(dst=dst, src=self._address, via=via, seq_id=seq_id, number=number)
+        )
+        self.acks_sent += 1
+        self._record(EventKind.ACK_SENT, seq_id=seq_id, dst=dst)
+
+    def _send_lost(self, dst: int, seq_id: int, *, number: int) -> None:
+        via = self._route_via(dst)
+        if via is None:
+            return
+        self._enqueue(
+            LostPacket(dst=dst, src=self._address, via=via, seq_id=seq_id, number=number)
+        )
+        self.losts_sent += 1
+        self._record(EventKind.LOST_SENT, seq_id=seq_id, dst=dst, index=number)
+
+    def _prune_dedup(self, now: float) -> None:
+        horizon = now - self.DEDUP_WINDOW_S
+        stale = [k for k, t in self._seen_singles.items() if t < horizon]
+        for key in stale:
+            del self._seen_singles[key]
+        stale_streams = [
+            k for k, (t, _n) in self._completed_inbound.items() if t < horizon
+        ]
+        for key in stale_streams:
+            del self._completed_inbound[key]
+
+    # ------------------------------------------------------------------
+    @property
+    def active_outbound(self) -> int:
+        """In-flight outbound singles + streams (diagnostic)."""
+        return len(self._singles) + len(self._streams)
+
+    @property
+    def active_inbound(self) -> int:
+        """In-flight inbound reassemblies (diagnostic)."""
+        return len(self._inbound)
+
+    def _complete(self, callback: Optional[CompletionFn], ok: bool, detail: str) -> None:
+        if callback is not None:
+            callback(ok, detail)
+
+    def _record(self, kind: EventKind, **detail) -> None:
+        if self._trace is not None:
+            self._trace.record(self._sim.now, self._address, kind, **detail)

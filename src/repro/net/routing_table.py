@@ -1,0 +1,296 @@
+"""The distance-vector routing table.
+
+This is the heart of LoRaMesher: each node maintains, for every known
+destination, the best next hop (``via``) and a hop-count metric, learned
+entirely from neighbours' periodic ROUTING broadcasts.
+
+Update rules (RIP-style, as the firmware implements them):
+
+* hearing *any* packet from a neighbour refreshes/creates the direct
+  route ``(neighbour, via=neighbour, metric=1)``,
+* for each entry ``(addr, m)`` in a neighbour N's ROUTING packet, the
+  candidate route is ``(addr, via=N, metric=m+1)``; it is adopted when it
+  is new, strictly better, or when the current route already goes via N
+  (follow the next hop's view, even if it got worse),
+* entries not refreshed within ``route_timeout`` expire,
+* metrics are capped at ``max_metric`` — candidates beyond it are ignored,
+  which (together with timeouts) bounds count-to-infinity.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.net.addresses import BROADCAST_ADDRESS, format_address
+from repro.net.packets import NodeRole, RoutingEntry
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class RouteEntry:
+    """One routing-table row."""
+
+    address: int  # destination
+    via: int  # next hop (== address for direct neighbours)
+    metric: int  # hop count
+    role: int  # advertised role bits of the destination
+    updated_at: float  # last refresh time
+    received_snr_db: Optional[float] = None  # link SNR of the teaching hello
+
+    @property
+    def is_neighbour(self) -> bool:
+        """Direct (one-hop) route."""
+        return self.metric == 1 and self.via == self.address
+
+
+#: Signature of the change hook: (kind, entry) with kind in
+#: {"added", "updated", "removed"}.
+ChangeHook = Callable[[str, RouteEntry], None]
+
+
+class RoutingTable:
+    """The per-node distance-vector table.
+
+    ``self_address`` is never stored (a node does not route to itself);
+    entries advertising it are skipped during merges.
+    """
+
+    def __init__(
+        self,
+        self_address: int,
+        *,
+        route_timeout: float = 600.0,
+        max_metric: int = 16,
+        snr_tiebreak_db: Optional[float] = None,
+        on_change: Optional[ChangeHook] = None,
+    ) -> None:
+        if route_timeout <= 0:
+            raise ValueError("route_timeout must be positive")
+        if not 1 <= max_metric <= 255:
+            raise ValueError("max_metric must be in [1, 255]")
+        if snr_tiebreak_db is not None and snr_tiebreak_db < 0:
+            raise ValueError("snr_tiebreak_db must be >= 0")
+        self.self_address = self_address
+        self.route_timeout = route_timeout
+        self.max_metric = max_metric
+        #: When set, an equal-metric candidate whose first hop is at least
+        #: this many dB stronger (hello SNR) replaces the current route —
+        #: the link-quality-aware extension of the plain hop-count DV.
+        self.snr_tiebreak_db = snr_tiebreak_db
+        self._on_change = on_change
+        self._routes: Dict[int, RouteEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def heard_from(
+        self, neighbour: int, now: float, *, role: int = int(NodeRole.DEFAULT), snr_db: Optional[float] = None
+    ) -> None:
+        """Refresh the direct route to a neighbour we just heard.
+
+        Called for *every* correctly received packet, not only hellos —
+        overhearing a data frame proves the link just as well.
+        """
+        if neighbour == self.self_address or neighbour == BROADCAST_ADDRESS:
+            return
+        current = self._routes.get(neighbour)
+        if current is None or current.metric >= 1:
+            entry = RouteEntry(
+                address=neighbour,
+                via=neighbour,
+                metric=1,
+                role=role if current is None else (role or current.role),
+                updated_at=now,
+                received_snr_db=snr_db,
+            )
+            kind = "added" if current is None else "updated"
+            meaningful = current is None or current.via != neighbour or current.metric != 1
+            self._routes[neighbour] = entry
+            if meaningful:
+                self._notify(kind, entry)
+
+    def process_hello(
+        self,
+        src: int,
+        entries: Iterable[RoutingEntry],
+        now: float,
+        *,
+        snr_db: Optional[float] = None,
+    ) -> int:
+        """Merge a neighbour's ROUTING packet. Returns routes changed."""
+        if src in (self.self_address, BROADCAST_ADDRESS):
+            # A radio never demodulates its own frames, but a spoofed or
+            # looped hello must not install routes via ourselves.
+            return 0
+        entries = list(entries)
+        # The sender's self-advertisement carries its role bits (and
+        # nothing else of value — reception is the direct route).
+        src_role = next(
+            (adv.role for adv in entries if adv.address == src), int(NodeRole.DEFAULT)
+        )
+        self.heard_from(src, now, role=src_role, snr_db=snr_db)
+        changed = 0
+        for adv in entries:
+            if adv.address in (self.self_address, BROADCAST_ADDRESS):
+                continue
+            if adv.address == src:
+                # The neighbour's advertisement of itself carries no new
+                # information — hearing the hello *is* the direct route,
+                # already installed at metric 1 above.  Merging it would
+                # let a malformed self-advertisement (metric > 0) degrade
+                # that direct route via the follow-your-via rule.
+                continue
+            candidate_metric = adv.metric + 1
+            if candidate_metric > self.max_metric:
+                continue
+            if self._merge_candidate(adv.address, src, candidate_metric, adv.role, now):
+                changed += 1
+        return changed
+
+    def _merge_candidate(self, address: int, via: int, metric: int, role: int, now: float) -> bool:
+        current = self._routes.get(address)
+        if current is None:
+            entry = RouteEntry(address=address, via=via, metric=metric, role=role, updated_at=now)
+            self._routes[address] = entry
+            self._notify("added", entry)
+            return True
+        if metric < current.metric:
+            entry = RouteEntry(address=address, via=via, metric=metric, role=role, updated_at=now)
+            self._routes[address] = entry
+            self._notify("updated", entry)
+            return True
+        if current.via == via:
+            # Follow the next hop's current view (metric may have worsened),
+            # and refresh the timestamp either way.
+            meaningful = current.metric != metric or current.role != role
+            current.metric = metric
+            current.role = role
+            current.updated_at = now
+            if meaningful:
+                self._notify("updated", current)
+            return meaningful
+        if metric == current.metric and self._stronger_first_hop(via, current.via):
+            entry = RouteEntry(address=address, via=via, metric=metric, role=role, updated_at=now)
+            self._routes[address] = entry
+            self._notify("updated", entry)
+            return True
+        return False
+
+    def _stronger_first_hop(self, candidate_via: int, current_via: int) -> bool:
+        """Link-quality tie-break: is the candidate's first hop at least
+        ``snr_tiebreak_db`` stronger than the current one's?
+
+        Uses the hello SNR recorded on the neighbour entries; missing SNR
+        (route never refreshed by a hello, or the feature disabled) means
+        no switch — hysteresis prevents flapping between similar links.
+        """
+        if self.snr_tiebreak_db is None:
+            return False
+        candidate = self._routes.get(candidate_via)
+        current = self._routes.get(current_via)
+        if candidate is None or candidate.received_snr_db is None:
+            return False
+        if current is None or current.received_snr_db is None:
+            return True  # any measured link beats a vanished/unmeasured one
+        return candidate.received_snr_db - current.received_snr_db >= self.snr_tiebreak_db
+
+    # ------------------------------------------------------------------
+    # Ageing
+    # ------------------------------------------------------------------
+    def purge(self, now: float) -> List[RouteEntry]:
+        """Drop entries not refreshed within ``route_timeout``.
+
+        Returns the removed entries (useful for trace and tests).
+        """
+        expired = [
+            entry
+            for entry in self._routes.values()
+            if now - entry.updated_at > self.route_timeout
+        ]
+        for entry in expired:
+            del self._routes[entry.address]
+            self._notify("removed", entry)
+        return expired
+
+    def remove_via(self, neighbour: int) -> List[RouteEntry]:
+        """Immediately drop every route through ``neighbour`` (used when a
+        transmission to it repeatedly fails)."""
+        dropped = [e for e in self._routes.values() if e.via == neighbour]
+        for entry in dropped:
+            del self._routes[entry.address]
+            self._notify("removed", entry)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def next_hop(self, destination: int) -> Optional[int]:
+        """Next hop towards ``destination``, or None when unreachable."""
+        entry = self._routes.get(destination)
+        return entry.via if entry is not None else None
+
+    def get(self, destination: int) -> Optional[RouteEntry]:
+        """The full entry for ``destination``, or None."""
+        return self._routes.get(destination)
+
+    def has_route(self, destination: int) -> bool:
+        """Whether ``destination`` is currently reachable."""
+        return destination in self._routes
+
+    def metric(self, destination: int) -> Optional[int]:
+        """Hop count towards ``destination``, or None."""
+        entry = self._routes.get(destination)
+        return entry.metric if entry is not None else None
+
+    @property
+    def size(self) -> int:
+        """Number of known destinations."""
+        return len(self._routes)
+
+    def destinations(self) -> List[int]:
+        """Known destination addresses, sorted."""
+        return sorted(self._routes)
+
+    def neighbours(self) -> List[int]:
+        """Directly reachable (metric-1) destinations, sorted."""
+        return sorted(e.address for e in self._routes.values() if e.is_neighbour)
+
+    def __iter__(self) -> Iterator[RouteEntry]:
+        for address in sorted(self._routes):
+            yield self._routes[address]
+
+    def __contains__(self, destination: int) -> bool:
+        return destination in self._routes
+
+    # ------------------------------------------------------------------
+    # Advertising
+    # ------------------------------------------------------------------
+    def snapshot(self, *, self_role: int = int(NodeRole.DEFAULT)) -> List[RoutingEntry]:
+        """The entries this node advertises in its ROUTING packets.
+
+        The node's own address is advertised at metric 0 so receivers
+        compute metric 1 for the direct route — matching the firmware,
+        where the hello's source is itself the metric-0 row.
+        """
+        rows = [RoutingEntry(address=self.self_address, metric=0, role=self_role)]
+        rows.extend(
+            RoutingEntry(address=e.address, metric=e.metric, role=e.role) for e in self
+        )
+        return rows
+
+    def format(self) -> str:
+        """Multi-line rendering like the demo's serial-console dump."""
+        lines = [f"Routing table of {format_address(self.self_address)} ({self.size} routes)"]
+        for entry in self:
+            lines.append(
+                f"  dst={format_address(entry.address)} via={format_address(entry.via)} "
+                f"metric={entry.metric} role={entry.role}"
+            )
+        return "\n".join(lines)
+
+    def _notify(self, kind: str, entry: RouteEntry) -> None:
+        if self._on_change is not None:
+            self._on_change(kind, entry)

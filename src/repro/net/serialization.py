@@ -1,0 +1,158 @@
+"""Byte-exact packet encode/decode.
+
+Every packet travels the simulated air as the same bytes the firmware
+would emit, so airtime computations and fragmentation limits are faithful.
+Decoding is strict: a malformed buffer raises :class:`DecodeError`, which
+the packet service treats like a CRC failure (drop and count).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.net import packets as pk
+from repro.net.packets import (
+    AckPacket,
+    DataPacket,
+    LostPacket,
+    NeedAckPacket,
+    Packet,
+    PacketType,
+    RoutingEntry,
+    RoutingPacket,
+    SyncPacket,
+    XLDataPacket,
+)
+
+_HEADER = struct.Struct("<HHBB")  # dst, src, type, payload_len
+_ROUTE_ENTRY = struct.Struct("<HBB")  # address, metric, role
+_VIA = struct.Struct("<H")
+_CONTROL = struct.Struct("<HBH")  # via, seq_id, number
+_SYNC_TAIL = struct.Struct("<I")  # total_bytes
+
+assert _HEADER.size == pk.HEADER_SIZE
+assert _ROUTE_ENTRY.size == pk.ROUTING_ENTRY_SIZE
+assert _CONTROL.size == pk.CONTROL_SIZE
+
+
+class DecodeError(Exception):
+    """Raised for any buffer that is not a well-formed packet."""
+
+
+def encode(packet: Packet) -> bytes:
+    """Serialize a packet to its over-the-air bytes."""
+    if isinstance(packet, RoutingPacket):
+        body = b"".join(
+            _ROUTE_ENTRY.pack(e.address, e.metric, e.role) for e in packet.entries
+        )
+    elif isinstance(packet, DataPacket):
+        body = _VIA.pack(packet.via) + packet.payload
+    elif isinstance(packet, NeedAckPacket):
+        body = _CONTROL.pack(packet.via, packet.seq_id, packet.number) + packet.payload
+    elif isinstance(packet, (AckPacket, LostPacket)):
+        body = _CONTROL.pack(packet.via, packet.seq_id, packet.number)
+    elif isinstance(packet, SyncPacket):
+        body = _CONTROL.pack(packet.via, packet.seq_id, packet.number) + _SYNC_TAIL.pack(
+            packet.total_bytes
+        )
+    elif isinstance(packet, XLDataPacket):
+        body = _CONTROL.pack(packet.via, packet.seq_id, packet.number) + packet.payload
+    else:
+        raise TypeError(f"cannot encode {type(packet).__name__}")
+
+    if len(body) > 0xFF:
+        raise ValueError(f"packet body {len(body)} B exceeds the u8 length field")
+    frame = _HEADER.pack(packet.dst, packet.src, int(packet.type), len(body)) + body
+    if len(frame) > pk.MAX_PHY_PAYLOAD:
+        raise ValueError(f"encoded frame {len(frame)} B exceeds the 255 B PHY limit")
+    return frame
+
+
+def decode(buffer: bytes) -> Packet:
+    """Parse over-the-air bytes back into a packet object."""
+    if len(buffer) < pk.HEADER_SIZE:
+        raise DecodeError(f"buffer of {len(buffer)} B shorter than the header")
+    dst, src, type_code, payload_len = _HEADER.unpack_from(buffer)
+    body = buffer[pk.HEADER_SIZE :]
+    if len(body) != payload_len:
+        raise DecodeError(
+            f"length field says {payload_len} B but {len(body)} B follow the header"
+        )
+    try:
+        ptype = PacketType(type_code)
+    except ValueError as exc:
+        raise DecodeError(f"unknown packet type {type_code}") from exc
+
+    try:
+        if ptype is PacketType.ROUTING:
+            return _decode_routing(dst, src, body)
+        if ptype is PacketType.DATA:
+            return _decode_data(dst, src, body)
+        via, seq_id, number, rest = _decode_control_prefix(body)
+        if ptype is PacketType.NEED_ACK:
+            return NeedAckPacket(dst=dst, src=src, via=via, seq_id=seq_id, number=number, payload=rest)
+        if ptype is PacketType.ACK:
+            _expect_empty(rest, "ACK")
+            return AckPacket(dst=dst, src=src, via=via, seq_id=seq_id, number=number)
+        if ptype is PacketType.LOST:
+            _expect_empty(rest, "LOST")
+            return LostPacket(dst=dst, src=src, via=via, seq_id=seq_id, number=number)
+        if ptype is PacketType.SYNC:
+            if len(rest) != _SYNC_TAIL.size:
+                raise DecodeError(f"SYNC tail is {len(rest)} B, expected {_SYNC_TAIL.size}")
+            (total_bytes,) = _SYNC_TAIL.unpack(rest)
+            return SyncPacket(
+                dst=dst, src=src, via=via, seq_id=seq_id, number=number, total_bytes=total_bytes
+            )
+        if ptype is PacketType.XL_DATA:
+            return XLDataPacket(dst=dst, src=src, via=via, seq_id=seq_id, number=number, payload=rest)
+    except ValueError as exc:  # dataclass validation on hostile input
+        raise DecodeError(str(exc)) from exc
+    raise DecodeError(f"unhandled packet type {ptype}")  # pragma: no cover
+
+
+def _decode_routing(dst: int, src: int, body: bytes) -> RoutingPacket:
+    if len(body) % pk.ROUTING_ENTRY_SIZE != 0:
+        raise DecodeError(
+            f"ROUTING body of {len(body)} B is not a multiple of {pk.ROUTING_ENTRY_SIZE}"
+        )
+    entries = tuple(
+        RoutingEntry(address=addr, metric=metric, role=role)
+        for addr, metric, role in _ROUTE_ENTRY.iter_unpack(body)
+    )
+    return RoutingPacket(dst=dst, src=src, entries=entries)
+
+
+def _decode_data(dst: int, src: int, body: bytes) -> DataPacket:
+    if len(body) < _VIA.size:
+        raise DecodeError("DATA body shorter than the via field")
+    (via,) = _VIA.unpack_from(body)
+    return DataPacket(dst=dst, src=src, via=via, payload=body[_VIA.size :])
+
+
+def _decode_control_prefix(body: bytes) -> Tuple[int, int, int, bytes]:
+    if len(body) < _CONTROL.size:
+        raise DecodeError("control body shorter than via+seq_id+number")
+    via, seq_id, number = _CONTROL.unpack_from(body)
+    return via, seq_id, number, body[_CONTROL.size :]
+
+
+def _expect_empty(rest: bytes, kind: str) -> None:
+    if rest:
+        raise DecodeError(f"{kind} packet carries {len(rest)} unexpected payload bytes")
+
+
+def encoded_size(packet: Packet) -> int:
+    """Size of the packet on the wire without building the bytes."""
+    if isinstance(packet, RoutingPacket):
+        return pk.HEADER_SIZE + len(packet.entries) * pk.ROUTING_ENTRY_SIZE
+    if isinstance(packet, DataPacket):
+        return pk.HEADER_SIZE + pk.VIA_SIZE + len(packet.payload)
+    if isinstance(packet, (NeedAckPacket, XLDataPacket)):
+        return pk.HEADER_SIZE + pk.CONTROL_SIZE + len(packet.payload)
+    if isinstance(packet, (AckPacket, LostPacket)):
+        return pk.HEADER_SIZE + pk.CONTROL_SIZE
+    if isinstance(packet, SyncPacket):
+        return pk.HEADER_SIZE + pk.CONTROL_SIZE + _SYNC_TAIL.size
+    raise TypeError(f"cannot size {type(packet).__name__}")

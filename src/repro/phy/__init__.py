@@ -1,0 +1,68 @@
+"""LoRa physical-layer models.
+
+This package substitutes for the Semtech SX127x radio hardware the paper's
+testbed used.  It provides:
+
+* :mod:`repro.phy.modulation` — LoRa modulation parameter types (SF, BW,
+  CR) and validation,
+* :mod:`repro.phy.airtime` — the Semtech time-on-air formula (AN1200.22),
+* :mod:`repro.phy.pathloss` — propagation models (free space, log-distance
+  with shadowing, indoor multi-wall),
+* :mod:`repro.phy.link` — link budget: RSSI/SNR at a receiver, per-SF
+  demodulation floors, sensitivity, capture-effect margins,
+* :mod:`repro.phy.regions` — regional regulatory parameters (EU868 duty
+  cycle, dwell time) and a per-node duty-cycle accountant.
+"""
+
+from repro.phy.modulation import (
+    Bandwidth,
+    CodingRate,
+    LoRaParams,
+    SpreadingFactor,
+)
+from repro.phy.airtime import (
+    payload_symbols,
+    preamble_duration,
+    symbol_duration,
+    time_on_air,
+)
+from repro.phy.pathloss import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    MultiWallPathLoss,
+    PathLossModel,
+)
+from repro.phy.link import (
+    CAPTURE_THRESHOLD_DB,
+    LinkBudget,
+    noise_floor_dbm,
+    sensitivity_dbm,
+    snr_floor_db,
+)
+from repro.phy.regions import DutyCycleAccountant, Region, EU868, US915
+from repro.phy.fading import BlockFadingPathLoss
+
+__all__ = [
+    "SpreadingFactor",
+    "Bandwidth",
+    "CodingRate",
+    "LoRaParams",
+    "symbol_duration",
+    "preamble_duration",
+    "payload_symbols",
+    "time_on_air",
+    "PathLossModel",
+    "FreeSpacePathLoss",
+    "LogDistancePathLoss",
+    "MultiWallPathLoss",
+    "LinkBudget",
+    "noise_floor_dbm",
+    "sensitivity_dbm",
+    "snr_floor_db",
+    "CAPTURE_THRESHOLD_DB",
+    "DutyCycleAccountant",
+    "Region",
+    "EU868",
+    "US915",
+    "BlockFadingPathLoss",
+]

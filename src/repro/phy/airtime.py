@@ -1,0 +1,83 @@
+"""LoRa time-on-air computation (Semtech AN1200.22 formula).
+
+Time-on-air drives everything in a LoRa mesh: collision probability,
+duty-cycle budget, hello-packet overhead, and end-to-end latency.  This
+module implements the exact formula from the SX127x datasheet /
+AN1200.22, the same one the RadioLib backend used by LoRaMesher applies.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.phy.modulation import LoRaParams
+
+
+def symbol_duration(params: LoRaParams) -> float:
+    """Duration of one LoRa symbol in seconds (``2**SF / BW``)."""
+    return params.symbol_time
+
+
+def preamble_duration(params: LoRaParams) -> float:
+    """Duration of the preamble in seconds.
+
+    The radio transmits ``n_preamble`` programmed symbols plus 4.25 symbols
+    of sync word / start-of-frame delimiter.
+    """
+    return (params.preamble_symbols + 4.25) * params.symbol_time
+
+
+def payload_symbols(payload_bytes: int, params: LoRaParams) -> int:
+    """Number of payload symbols for ``payload_bytes`` of PHY payload.
+
+    Implements ``ceil(max(...)/4(SF-2DE)) * (CR+4)`` from AN1200.22 with
+    the +8 base symbols.  The explicit header adds 20 bits (``H=0``) and
+    the CRC adds 16 bits when enabled.
+    """
+    if payload_bytes < 0:
+        raise ValueError(f"payload_bytes must be >= 0, got {payload_bytes}")
+    sf = int(params.spreading_factor)
+    de = 1 if params.ldro_enabled else 0
+    h = 0 if params.explicit_header else 1
+    crc = 1 if params.crc_enabled else 0
+    numerator = 8 * payload_bytes - 4 * sf + 28 + 16 * crc - 20 * h
+    denominator = 4 * (sf - 2 * de)
+    extra = max(math.ceil(numerator / denominator), 0) * (params.coding_rate.denominator)
+    return 8 + extra
+
+
+def payload_duration(payload_bytes: int, params: LoRaParams) -> float:
+    """Duration of the payload portion in seconds."""
+    return payload_symbols(payload_bytes, params) * params.symbol_time
+
+
+def time_on_air(payload_bytes: int, params: LoRaParams) -> float:
+    """Total frame time-on-air in seconds: preamble + payload."""
+    return preamble_duration(params) + payload_duration(payload_bytes, params)
+
+
+def max_payload_for_airtime(budget_s: float, params: LoRaParams, *, limit: int = 255) -> int:
+    """Largest PHY payload (bytes, <= ``limit``) whose ToA fits ``budget_s``.
+
+    Used by the mesher to size fragments under regional dwell-time limits.
+    Returns -1 when even an empty frame does not fit.
+    """
+    if time_on_air(0, params) > budget_s:
+        return -1
+    lo, hi = 0, limit
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if time_on_air(mid, params) <= budget_s:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def effective_bitrate(payload_bytes: int, params: LoRaParams) -> float:
+    """Application-visible bitrate (bits/s) for a frame of this size,
+    accounting for preamble and framing overhead."""
+    toa = time_on_air(payload_bytes, params)
+    if toa <= 0:
+        raise ValueError("time on air must be positive")
+    return 8 * payload_bytes / toa

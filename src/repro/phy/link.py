@@ -1,0 +1,134 @@
+"""Link budget: RSSI, SNR, sensitivity, and capture margins.
+
+Reception of a LoRa frame is decided in two steps, matching how real
+SX127x receivers behave and how validated LoRa simulators model them:
+
+1. **Sensitivity** — the received signal power must exceed the per-SF
+   demodulation floor (equivalently, SNR above the per-SF SNR floor).
+2. **Capture / co-channel interference** — a frame survives interference
+   from an overlapping same-SF transmission if it is at least
+   :data:`CAPTURE_THRESHOLD_DB` stronger (the LoRa capture effect);
+   otherwise both frames are lost.  Different SFs are treated as
+   quasi-orthogonal with a small inter-SF rejection margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.modulation import Bandwidth, LoRaParams, SpreadingFactor
+from repro.phy.pathloss import PathLossModel, Position
+
+#: Per-SF SNR demodulation floor in dB (SX127x datasheet, table 13).
+_SNR_FLOOR_DB = {
+    SpreadingFactor.SF7: -7.5,
+    SpreadingFactor.SF8: -10.0,
+    SpreadingFactor.SF9: -12.5,
+    SpreadingFactor.SF10: -15.0,
+    SpreadingFactor.SF11: -17.5,
+    SpreadingFactor.SF12: -20.0,
+}
+
+#: LoRa same-SF capture threshold (dB). A frame >= 6 dB above the sum of
+#: co-channel interferers is demodulated correctly (Goursaud & Gorce).
+CAPTURE_THRESHOLD_DB = 6.0
+
+#: Rejection margin for interference from a *different* SF on the same
+#: channel: the interferer must be this much stronger to corrupt the frame.
+INTER_SF_REJECTION_DB = 16.0
+
+#: Receiver noise figure used for the thermal-noise floor (dB).
+NOISE_FIGURE_DB = 6.0
+
+
+def snr_floor_db(sf: SpreadingFactor) -> float:
+    """Minimum SNR (dB) at which the SX127x demodulates a frame at ``sf``."""
+    return _SNR_FLOOR_DB[sf]
+
+
+def noise_floor_dbm(bandwidth: Bandwidth, *, noise_figure_db: float = NOISE_FIGURE_DB) -> float:
+    """Thermal noise floor in dBm: ``-174 + 10 log10(BW) + NF``."""
+    import math
+
+    return -174.0 + 10.0 * math.log10(bandwidth.hz) + noise_figure_db
+
+
+def sensitivity_dbm(params: LoRaParams) -> float:
+    """Receiver sensitivity in dBm for the given modulation parameters."""
+    return noise_floor_dbm(params.bandwidth) + snr_floor_db(params.spreading_factor)
+
+
+@dataclass(frozen=True)
+class LinkQuality:
+    """Computed quality of a candidate reception."""
+
+    rssi_dbm: float
+    snr_db: float
+    above_sensitivity: bool
+
+
+class LinkBudget:
+    """Computes received power and demodulation feasibility over a
+    :class:`~repro.phy.pathloss.PathLossModel`.
+
+    Antenna gains default to 0 dBi (the demo's PCB antennas); a systematic
+    cable/connector loss can be folded into ``fixed_loss_db``.
+    """
+
+    def __init__(
+        self,
+        pathloss: PathLossModel,
+        *,
+        tx_antenna_gain_dbi: float = 0.0,
+        rx_antenna_gain_dbi: float = 0.0,
+        fixed_loss_db: float = 0.0,
+    ) -> None:
+        self.pathloss = pathloss
+        self.tx_antenna_gain_dbi = tx_antenna_gain_dbi
+        self.rx_antenna_gain_dbi = rx_antenna_gain_dbi
+        self.fixed_loss_db = fixed_loss_db
+
+    def received_power_dbm(
+        self, tx_pos: Position, rx_pos: Position, params: LoRaParams
+    ) -> float:
+        """RSSI (dBm) at ``rx_pos`` for a transmission from ``tx_pos``."""
+        loss = self.pathloss.loss_db(tx_pos, rx_pos, params.frequency_mhz)
+        return (
+            params.tx_power_dbm
+            + self.tx_antenna_gain_dbi
+            + self.rx_antenna_gain_dbi
+            - self.fixed_loss_db
+            - loss
+        )
+
+    def evaluate(self, tx_pos: Position, rx_pos: Position, params: LoRaParams) -> LinkQuality:
+        """Full link evaluation: RSSI, SNR against thermal noise, and
+        whether the frame clears the demodulation floor."""
+        rssi = self.received_power_dbm(tx_pos, rx_pos, params)
+        snr = rssi - noise_floor_dbm(params.bandwidth)
+        return LinkQuality(
+            rssi_dbm=rssi,
+            snr_db=snr,
+            above_sensitivity=snr >= snr_floor_db(params.spreading_factor),
+        )
+
+    def in_range(self, tx_pos: Position, rx_pos: Position, params: LoRaParams) -> bool:
+        """Convenience: can a frame at these parameters be heard at all?"""
+        return self.evaluate(tx_pos, rx_pos, params).above_sensitivity
+
+
+def survives_interference(
+    signal_dbm: float,
+    signal_sf: SpreadingFactor,
+    interferer_dbm: float,
+    interferer_sf: SpreadingFactor,
+) -> bool:
+    """Whether a frame survives one overlapping interferer.
+
+    Same-SF: capture effect with :data:`CAPTURE_THRESHOLD_DB` margin.
+    Different-SF: quasi-orthogonal; only a much stronger interferer
+    (>= :data:`INTER_SF_REJECTION_DB` above the signal) corrupts it.
+    """
+    if signal_sf == interferer_sf:
+        return signal_dbm - interferer_dbm >= CAPTURE_THRESHOLD_DB
+    return interferer_dbm - signal_dbm < INTER_SF_REJECTION_DB

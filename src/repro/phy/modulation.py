@@ -1,0 +1,146 @@
+"""LoRa modulation parameters.
+
+LoRa trades data rate for range through three knobs the LoRaMesher library
+exposes to applications: spreading factor (SF7–SF12), bandwidth (125/250/
+500 kHz), and coding rate (4/5 – 4/8).  This module defines validated types
+for those knobs plus the :class:`LoRaParams` bundle every PHY computation
+takes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SpreadingFactor(enum.IntEnum):
+    """LoRa spreading factor: chips per symbol is ``2**SF``.
+
+    Higher SF → longer symbols → better sensitivity and range, at an
+    exponential cost in airtime.
+    """
+
+    SF7 = 7
+    SF8 = 8
+    SF9 = 9
+    SF10 = 10
+    SF11 = 11
+    SF12 = 12
+
+    @property
+    def chips_per_symbol(self) -> int:
+        """Number of chips in one symbol (``2**SF``)."""
+        return 1 << int(self)
+
+
+class Bandwidth(enum.IntEnum):
+    """LoRa channel bandwidth in Hz (the SX127x supports more, these are
+    the three used in practice and by LoRaMesher)."""
+
+    BW125 = 125_000
+    BW250 = 250_000
+    BW500 = 500_000
+
+    @property
+    def hz(self) -> int:
+        """Bandwidth in hertz."""
+        return int(self)
+
+    @property
+    def khz(self) -> float:
+        """Bandwidth in kilohertz."""
+        return int(self) / 1000.0
+
+
+class CodingRate(enum.IntEnum):
+    """Forward-error-correction rate 4/(4+CR): CR=1 → 4/5 ... CR=4 → 4/8."""
+
+    CR4_5 = 1
+    CR4_6 = 2
+    CR4_7 = 3
+    CR4_8 = 4
+
+    @property
+    def denominator(self) -> int:
+        """The ``x`` in coding rate 4/x."""
+        return 4 + int(self)
+
+    @property
+    def ratio(self) -> float:
+        """Useful-bit fraction 4/(4+CR)."""
+        return 4.0 / self.denominator
+
+
+#: Default preamble length used by the SX127x drivers LoRaMesher builds on.
+DEFAULT_PREAMBLE_SYMBOLS = 8
+
+#: Default transmit power (dBm) of the TTGO LoRa32 boards in the demo.
+DEFAULT_TX_POWER_DBM = 14.0
+
+#: EU868 centre frequency used by the paper's testbed (MHz).
+DEFAULT_FREQUENCY_MHZ = 868.0
+
+
+@dataclass(frozen=True)
+class LoRaParams:
+    """The full set of modulation parameters for one transmission.
+
+    ``explicit_header`` matches the SX127x explicit-header mode LoRaMesher
+    uses (the PHY header carries length/CR/CRC flags).  ``low_data_rate``
+    is resolved automatically when ``None``: the LDRO mandated for symbol
+    durations >= 16 ms (SF11/SF12 at BW125).
+    """
+
+    spreading_factor: SpreadingFactor = SpreadingFactor.SF7
+    bandwidth: Bandwidth = Bandwidth.BW125
+    coding_rate: CodingRate = CodingRate.CR4_5
+    preamble_symbols: int = DEFAULT_PREAMBLE_SYMBOLS
+    explicit_header: bool = True
+    crc_enabled: bool = True
+    low_data_rate: bool | None = None
+    frequency_mhz: float = DEFAULT_FREQUENCY_MHZ
+    tx_power_dbm: float = DEFAULT_TX_POWER_DBM
+
+    def __post_init__(self) -> None:
+        if self.preamble_symbols < 6:
+            raise ValueError(
+                f"preamble must be >= 6 symbols (SX127x minimum), got {self.preamble_symbols}"
+            )
+        if not 137.0 <= self.frequency_mhz <= 1020.0:
+            raise ValueError(f"frequency {self.frequency_mhz} MHz outside SX127x range")
+        if not -4.0 <= self.tx_power_dbm <= 20.0:
+            raise ValueError(f"tx power {self.tx_power_dbm} dBm outside SX127x range")
+
+    @property
+    def symbol_time(self) -> float:
+        """Symbol duration in seconds: ``2**SF / BW``."""
+        return self.spreading_factor.chips_per_symbol / self.bandwidth.hz
+
+    @property
+    def ldro_enabled(self) -> bool:
+        """Low-data-rate optimisation, auto-resolved when unset.
+
+        Semtech mandates LDRO when the symbol time reaches 16 ms, which at
+        BW125 means SF11 and SF12.
+        """
+        if self.low_data_rate is not None:
+            return self.low_data_rate
+        return self.symbol_time >= 0.016
+
+    @property
+    def raw_bitrate(self) -> float:
+        """Instantaneous PHY bitrate in bits/s (before framing overhead)."""
+        sf = int(self.spreading_factor)
+        return sf * self.coding_rate.ratio * self.bandwidth.hz / self.spreading_factor.chips_per_symbol
+
+    def replace(self, **changes) -> "LoRaParams":
+        """Return a copy with the given fields replaced."""
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **changes)
+
+
+#: Parameter sets commonly swept in the benchmarks.
+ALL_SPREADING_FACTORS = tuple(SpreadingFactor)
+ALL_BANDWIDTHS = tuple(Bandwidth)
+ALL_CODING_RATES = tuple(CodingRate)

@@ -1,0 +1,14 @@
+"""Simulated SX127x-class radio driver.
+
+LoRaMesher's protocol logic talks to its radio through a narrow driver
+interface (RadioLib on real hardware).  :class:`~repro.radio.driver.Radio`
+reproduces that interface on top of the simulated medium: a half-duplex
+state machine (SLEEP / STANDBY / RX / TX / CAD) with tx-done and rx-done
+callbacks, CRC reporting, and channel-activity detection.
+"""
+
+from repro.radio.driver import Radio, RadioError, RadioBusyError
+from repro.radio.states import RadioState
+from repro.radio.frames import ReceivedFrame
+
+__all__ = ["Radio", "RadioState", "ReceivedFrame", "RadioError", "RadioBusyError"]

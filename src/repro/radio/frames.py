@@ -1,0 +1,29 @@
+"""Frame record handed from the radio driver to the protocol layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.modulation import LoRaParams
+
+
+@dataclass(frozen=True)
+class ReceivedFrame:
+    """One frame as seen by the protocol layer.
+
+    ``crc_ok`` is False for frames corrupted by a collision — LoRaMesher
+    drops those at the packet service, exactly like the firmware drops
+    RxDone interrupts flagged with PayloadCrcError.
+    """
+
+    payload: bytes
+    rssi_dbm: float
+    snr_db: float
+    crc_ok: bool
+    received_at: float
+    params: LoRaParams
+
+    @property
+    def size(self) -> int:
+        """PHY payload length in bytes."""
+        return len(self.payload)

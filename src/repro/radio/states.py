@@ -1,0 +1,25 @@
+"""Radio operating states, mirroring the SX127x operating modes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RadioState(enum.Enum):
+    """Operating mode of the transceiver.
+
+    The SX127x is strictly half-duplex: it is deaf while in ``TX`` and
+    cannot transmit while a reception would be in progress.  ``CAD`` is the
+    brief channel-activity-detection mode used for listen-before-talk.
+    """
+
+    SLEEP = "sleep"
+    STANDBY = "standby"
+    RX = "rx"
+    TX = "tx"
+    CAD = "cad"
+
+    @property
+    def can_hear(self) -> bool:
+        """Whether frames on the air can be demodulated in this state."""
+        return self is RadioState.RX

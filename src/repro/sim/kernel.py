@@ -1,0 +1,343 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a priority queue of timestamped callbacks and a
+simulated clock.  Everything else in the stack — PHY transmissions, radio
+state transitions, LoRaMesher timers — is expressed as events scheduled on
+one shared kernel, which makes whole-network runs fully deterministic for a
+given master seed.
+
+Determinism rules
+-----------------
+* Events at equal timestamps fire in scheduling order (a monotonically
+  increasing sequence number breaks ties).
+* The kernel never consults wall-clock time.
+* All randomness must come from :class:`repro.sim.rng.RngRegistry` streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.errors import SchedulingError, SimulationError
+
+logger = logging.getLogger(__name__)
+
+#: Events scheduled with this priority run before ordinary events that share
+#: the same timestamp (used by the medium to finalise receptions before
+#: protocol timers observe them).
+PRIORITY_HIGH = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+
+@dataclass(order=True)
+class _Event:
+    """Internal heap entry. Ordering: (time, priority, seq)."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Returned by :meth:`Simulator.schedule`.  Cancelling an already-fired or
+    already-cancelled event is a harmless no-op, which lets protocol code
+    unconditionally cancel timers on state transitions.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated time at which the event will (or did) fire."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """Human-readable label attached at scheduling time."""
+        return self._event.label
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not cancelled, not fired)."""
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Idempotent."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler with a simulated clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("fires at t=1.5"))
+        sim.run(until=10.0)
+
+    The kernel is single-threaded and re-entrant: callbacks may freely
+    schedule further events, including at the current instant.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+        self._events_fired: int = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (diagnostic)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative.  Returns an :class:`EventHandle`
+        that can cancel the event before it fires.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SchedulingError(f"cannot schedule at {time} < now {self._now}")
+        if not callable(callback):
+            raise SchedulingError(f"callback {callback!r} is not callable")
+        event = _Event(time=time, priority=priority, seq=self._seq, callback=callback, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def call_soon(self, callback: Callable[[], None], *, label: str = "") -> EventHandle:
+        """Schedule ``callback`` at the current instant, after pending
+        same-time events already in the queue."""
+        return self.schedule(0.0, callback, label=label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event queue time went backwards")
+            self._now = event.time
+            self._events_fired += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, *, max_events: Optional[int] = None) -> float:
+        """Run events until the horizon ``until`` (or queue exhaustion).
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        on return even if the queue drained earlier, so back-to-back
+        ``run`` calls observe a continuous timeline.  ``max_events`` bounds
+        runaway simulations (useful in tests).
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._heap and not self._stopped:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._events_fired += 1
+                event.callback()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"max_events={max_events} exceeded at t={self._now:.6f}"
+                    )
+            if until is not None and not self._stopped and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run` return after the running
+        callback completes. Pending events remain queued."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Convenience timer helpers
+    # ------------------------------------------------------------------
+    def periodic(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        first_delay: Optional[float] = None,
+        jitter: Optional[Callable[[], float]] = None,
+        label: str = "",
+    ) -> "PeriodicTimer":
+        """Create and start a cancellable periodic timer.
+
+        ``jitter``, when provided, is called before every firing and its
+        return value (seconds, may be negative but clamped at 0 total
+        delay) is added to the period — this is how protocol layers model
+        randomized beacon intervals without touching the kernel.
+        """
+        timer = PeriodicTimer(self, period, callback, jitter=jitter, label=label)
+        timer.start(first_delay=first_delay)
+        return timer
+
+
+class PeriodicTimer:
+    """A restartable periodic timer built on top of :class:`Simulator`.
+
+    The callback runs every ``period`` seconds (plus optional per-firing
+    jitter) until :meth:`cancel` is called.  Exceptions propagate and stop
+    the timer — silent failure would mask protocol bugs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        jitter: Optional[Callable[[], float]] = None,
+        label: str = "",
+    ) -> None:
+        if period <= 0:
+            raise SchedulingError(f"period must be positive, got {period!r}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._jitter = jitter
+        self._label = label
+        self._handle: Optional[EventHandle] = None
+        self._cancelled = False
+        self._fired = 0
+
+    @property
+    def fired(self) -> int:
+        """How many times the timer has fired."""
+        return self._fired
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is armed."""
+        return not self._cancelled
+
+    @property
+    def period(self) -> float:
+        """Nominal period in seconds."""
+        return self._period
+
+    def start(self, *, first_delay: Optional[float] = None) -> None:
+        """(Re-)arm the timer; the first firing happens after
+        ``first_delay`` (default: one jittered period)."""
+        self._cancelled = False
+        delay = first_delay if first_delay is not None else self._next_delay()
+        self._handle = self._sim.schedule(delay, self._fire, label=self._label)
+
+    def cancel(self) -> None:
+        """Stop the timer. Idempotent."""
+        self._cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def reset(self) -> None:
+        """Cancel any pending firing and re-arm from now."""
+        self.cancel()
+        self.start()
+
+    def _next_delay(self) -> float:
+        delay = self._period
+        if self._jitter is not None:
+            delay += self._jitter()
+        return max(0.0, delay)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._fired += 1
+        # Re-arm before running the callback so a callback that cancels the
+        # timer wins over the re-arm.
+        self._handle = self._sim.schedule(self._next_delay(), self._fire, label=self._label)
+        self._callback()
+
+
+def format_time(seconds: float) -> str:
+    """Render a simulated timestamp as ``H:MM:SS.mmm`` for logs."""
+    total_ms = int(round(seconds * 1000))
+    ms = total_ms % 1000
+    s = (total_ms // 1000) % 60
+    m = (total_ms // 60_000) % 60
+    h = total_ms // 3_600_000
+    return f"{h}:{m:02d}:{s:02d}.{ms:03d}"
+
+
+def any_to_label(obj: Any) -> str:
+    """Best-effort short label for diagnostics."""
+    name = getattr(obj, "name", None)
+    if isinstance(name, str):
+        return name
+    return type(obj).__name__

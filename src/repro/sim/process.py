@@ -1,0 +1,187 @@
+"""Lightweight generator-based processes on top of the kernel.
+
+The LoRaMesher firmware is structured as FreeRTOS tasks that block on
+queues and delays.  :class:`Process` gives Python code the same shape:
+a generator that ``yield``\\ s :class:`Timeout` or :class:`Waiter` objects
+and is resumed by the kernel when the wait completes.
+
+This is a deliberately small subset of a full process algebra (no
+``AllOf``/``AnyOf`` combinators) — protocol code in this repository is
+mostly callback/timer driven, and processes are used for workloads and
+scenario scripts where sequential narration reads better.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.errors import ProcessKilled, SimulationError
+from repro.sim.kernel import EventHandle, Simulator
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {delay!r}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay})"
+
+
+class Waiter:
+    """A one-shot condition a process can yield on.
+
+    Some other piece of code calls :meth:`fire` (optionally with a value);
+    every process (and callback) waiting on the waiter is resumed with that
+    value.  Firing twice is an error — create a fresh waiter per event.
+    """
+
+    __slots__ = ("_fired", "_value", "_callbacks", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        """Whether :meth:`fire` has been called."""
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`fire` (None before firing)."""
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        """Resume everything waiting on this waiter."""
+        if self._fired:
+            raise SimulationError(f"Waiter {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` when the waiter fires (immediately if
+        it already has)."""
+        if self._fired:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+
+
+class Process:
+    """A generator coroutine driven by the simulation kernel.
+
+    The generator may yield:
+
+    * ``Timeout(dt)`` — resume after ``dt`` simulated seconds,
+    * ``Waiter`` — resume (with the fired value sent into the generator)
+      when someone fires it,
+    * another ``Process`` — resume when that process finishes.
+
+    The process's return value (via ``return x`` in the generator) is
+    available as :attr:`result` once :attr:`done` is true.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Any, Any, Any],
+        *,
+        name: str = "",
+    ) -> None:
+        self._sim = sim
+        self._gen = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._done = False
+        self._killed = False
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._completion = Waiter(name=f"{self.name}.done")
+        self._pending_handle: Optional[EventHandle] = None
+        # Kick off at the current instant so construction order == start order.
+        self._pending_handle = sim.call_soon(lambda: self._resume(None), label=f"start {self.name}")
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once the generator has returned, raised, or been killed."""
+        return self._done
+
+    @property
+    def result(self) -> Any:
+        """The generator's return value (raises if it failed)."""
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def completion(self) -> Waiter:
+        """Waiter fired (with the result) when the process finishes."""
+        return self._completion
+
+    def kill(self) -> None:
+        """Terminate the process by throwing :class:`ProcessKilled` into it."""
+        if self._done:
+            return
+        self._killed = True
+        if self._pending_handle is not None:
+            self._pending_handle.cancel()
+            self._pending_handle = None
+        try:
+            self._gen.throw(ProcessKilled(f"process {self.name} killed"))
+        except (StopIteration, ProcessKilled):
+            pass
+        except BaseException as exc:  # cleanup code raised something else
+            self._error = exc
+        self._finish(None)
+
+    # ------------------------------------------------------------------
+    def _resume(self, value: Any) -> None:
+        if self._done:
+            return
+        self._pending_handle = None
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self._result = stop.value
+            self._finish(stop.value)
+            return
+        except BaseException as exc:
+            self._error = exc
+            self._finish(None)
+            raise
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self._pending_handle = self._sim.schedule(
+                yielded.delay, lambda: self._resume(None), label=f"{self.name} timeout"
+            )
+        elif isinstance(yielded, Waiter):
+            yielded.add_callback(self._resume)
+        elif isinstance(yielded, Process):
+            yielded.completion.add_callback(self._resume)
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded unsupported {yielded!r} "
+                "(expected Timeout, Waiter, or Process)"
+            )
+
+    def _finish(self, value: Any) -> None:
+        self._done = True
+        if not self._completion.fired:
+            self._completion.fire(value)
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "running"
+        return f"Process({self.name!r}, {state})"

@@ -1,0 +1,39 @@
+"""Node placement, connectivity analysis, and dynamics.
+
+The demo's observable behaviour (multi-hop routes emerge) is a property of
+the deployment geometry.  This package generates the geometries the
+benchmarks sweep (lines, grids, random fields, campus clusters), analyses
+their radio connectivity with networkx, and scripts runtime dynamics
+(node failures, mobility).
+"""
+
+from repro.topology.placement import (
+    campus_positions,
+    grid_positions,
+    line_positions,
+    random_positions,
+    ring_positions,
+)
+from repro.topology.graphs import connectivity_graph, graph_stats, is_connected
+from repro.topology.mobility import FailureSchedule, RandomWaypoint
+from repro.topology.planning import minimum_connecting_sf, plan_all_sfs
+from repro.topology.layout import Layout, LayoutNode, load_layout, save_layout
+
+__all__ = [
+    "minimum_connecting_sf",
+    "plan_all_sfs",
+    "Layout",
+    "LayoutNode",
+    "load_layout",
+    "save_layout",
+    "line_positions",
+    "grid_positions",
+    "ring_positions",
+    "random_positions",
+    "campus_positions",
+    "connectivity_graph",
+    "graph_stats",
+    "is_connected",
+    "FailureSchedule",
+    "RandomWaypoint",
+]

@@ -1,0 +1,89 @@
+"""Radio-connectivity analysis over placements.
+
+Builds the "who can hear whom" graph a placement induces under a given
+link budget, so experiments can assert properties (connected, diameter k)
+of their topology before running the protocol on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.phy.link import LinkBudget
+from repro.phy.modulation import LoRaParams
+from repro.phy.pathloss import Position
+
+
+def connectivity_graph(
+    positions: Sequence[Position],
+    link_budget: LinkBudget,
+    params: LoRaParams,
+) -> nx.Graph:
+    """Undirected graph with an edge wherever both directions demodulate.
+
+    Nodes are position indices; edges carry the ``snr_db`` of the link
+    (the worse of the two directions, though the default models are
+    reciprocal).
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(positions)))
+    for i in range(len(positions)):
+        for j in range(i + 1, len(positions)):
+            forward = link_budget.evaluate(positions[i], positions[j], params)
+            backward = link_budget.evaluate(positions[j], positions[i], params)
+            if forward.above_sensitivity and backward.above_sensitivity:
+                graph.add_edge(i, j, snr_db=min(forward.snr_db, backward.snr_db))
+    return graph
+
+
+def is_connected(
+    positions: Sequence[Position], link_budget: LinkBudget, params: LoRaParams
+) -> bool:
+    """Whether the placement forms one connected radio component."""
+    graph = connectivity_graph(positions, link_budget, params)
+    return nx.is_connected(graph) if len(graph) > 0 else True
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a connectivity graph."""
+
+    nodes: int
+    edges: int
+    connected: bool
+    components: int
+    diameter: int  # -1 when disconnected
+    mean_degree: float
+
+
+def graph_stats(graph: nx.Graph) -> GraphStats:
+    """Summarise a connectivity graph for experiment logs."""
+    n = graph.number_of_nodes()
+    connected = nx.is_connected(graph) if n > 0 else True
+    return GraphStats(
+        nodes=n,
+        edges=graph.number_of_edges(),
+        connected=connected,
+        components=nx.number_connected_components(graph) if n > 0 else 0,
+        diameter=nx.diameter(graph) if connected and n > 1 else (-1 if not connected else 0),
+        mean_degree=(2 * graph.number_of_edges() / n) if n else 0.0,
+    )
+
+
+def hop_distance(
+    positions: Sequence[Position],
+    link_budget: LinkBudget,
+    params: LoRaParams,
+    src_index: int,
+    dst_index: int,
+) -> int:
+    """Shortest-path hop count between two placement indices (-1 if
+    unreachable) — the oracle the baselines and assertions compare to."""
+    graph = connectivity_graph(positions, link_budget, params)
+    try:
+        return nx.shortest_path_length(graph, src_index, dst_index)
+    except nx.NetworkXNoPath:
+        return -1

@@ -1,0 +1,143 @@
+"""Deployment layout files.
+
+A deployment — node positions, optional names/roles, channel choice — is
+something users iterate on and share.  This module defines a small JSON
+format and loads/saves it, so the CLI and experiments can run real site
+plans instead of generated placements::
+
+    {
+      "name": "office-floor-2",
+      "spreading_factor": 7,
+      "nodes": [
+        {"x": 0,   "y": 0,  "name": "sink",   "gateway": true},
+        {"x": 110, "y": 5,  "name": "lab-a"},
+        {"x": 220, "y": -3}
+      ]
+    }
+
+Addresses are assigned in file order (0x0001...), matching the
+positional convention everywhere else.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.phy.modulation import LoRaParams, SpreadingFactor
+
+Position = Tuple[float, float]
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LayoutNode:
+    """One planned node."""
+
+    x: float
+    y: float
+    name: str = ""
+    gateway: bool = False
+
+    @property
+    def position(self) -> Position:
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Layout:
+    """A deployment plan."""
+
+    name: str
+    nodes: Tuple[LayoutNode, ...]
+    spreading_factor: SpreadingFactor = SpreadingFactor.SF7
+
+    def positions(self) -> List[Position]:
+        """Node positions in file order."""
+        return [node.position for node in self.nodes]
+
+    def gateway_indices(self) -> List[int]:
+        """Indices of nodes flagged as gateways."""
+        return [i for i, node in enumerate(self.nodes) if node.gateway]
+
+    def params(self) -> LoRaParams:
+        """LoRa parameters implied by the layout."""
+        return LoRaParams(spreading_factor=self.spreading_factor)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class LayoutError(Exception):
+    """Raised for malformed layout documents."""
+
+
+def load_layout(path: Union[str, Path]) -> Layout:
+    """Read and validate a layout file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LayoutError(f"cannot read layout {path}: {exc}") from exc
+    return layout_from_dict(document, default_name=Path(path).stem)
+
+
+def layout_from_dict(document: dict, *, default_name: str = "layout") -> Layout:
+    """Build a layout from an already-parsed document."""
+    if not isinstance(document, dict):
+        raise LayoutError("layout document must be a JSON object")
+    version = document.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise LayoutError(f"unsupported layout version {version!r}")
+    raw_nodes = document.get("nodes")
+    if not isinstance(raw_nodes, list) or not raw_nodes:
+        raise LayoutError("layout needs a non-empty 'nodes' list")
+    nodes = []
+    for i, raw in enumerate(raw_nodes):
+        if not isinstance(raw, dict) or "x" not in raw or "y" not in raw:
+            raise LayoutError(f"node {i} must be an object with 'x' and 'y'")
+        try:
+            nodes.append(
+                LayoutNode(
+                    x=float(raw["x"]),
+                    y=float(raw["y"]),
+                    name=str(raw.get("name", "")),
+                    gateway=bool(raw.get("gateway", False)),
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise LayoutError(f"node {i}: {exc}") from exc
+    sf_value = document.get("spreading_factor", 7)
+    try:
+        sf = SpreadingFactor(int(sf_value))
+    except ValueError as exc:
+        raise LayoutError(f"invalid spreading_factor {sf_value!r}") from exc
+    return Layout(
+        name=str(document.get("name", default_name)),
+        nodes=tuple(nodes),
+        spreading_factor=sf,
+    )
+
+
+def save_layout(layout: Layout, path: Union[str, Path]) -> Path:
+    """Write a layout file; returns the path."""
+    path = Path(path)
+    document = {
+        "version": FORMAT_VERSION,
+        "name": layout.name,
+        "spreading_factor": int(layout.spreading_factor),
+        "nodes": [
+            {
+                "x": node.x,
+                "y": node.y,
+                **({"name": node.name} if node.name else {}),
+                **({"gateway": True} if node.gateway else {}),
+            }
+            for node in layout.nodes
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2))
+    return path

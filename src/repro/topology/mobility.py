@@ -1,0 +1,117 @@
+"""Runtime topology dynamics: scripted failures and simple mobility.
+
+The robustness experiments (E8) kill and revive nodes mid-run; the
+mobility model exercises route repair under continuous change.  Both are
+driven by the shared kernel so runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.net.mesher import MesherNode
+from repro.sim.kernel import Simulator
+
+Position = Tuple[float, float]
+
+
+class FailureSchedule:
+    """Scripted node deaths and recoveries.
+
+    >>> schedule = FailureSchedule(sim)
+    >>> schedule.fail_at(600.0, relay_node)
+    >>> schedule.recover_at(1200.0, relay_node)
+
+    Events already in the past raise — a schedule is written before the
+    run starts.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self.events: List[Tuple[float, str, int]] = []  # (time, kind, address)
+
+    def fail_at(self, time_s: float, node: MesherNode) -> None:
+        """Kill ``node`` abruptly at the given absolute simulated time."""
+        self._at(time_s, "fail", node, node.fail)
+
+    def recover_at(self, time_s: float, node: MesherNode) -> None:
+        """Revive ``node`` (cold start) at the given time."""
+        self._at(time_s, "recover", node, node.recover)
+
+    def _at(self, time_s: float, kind: str, node: MesherNode, action) -> None:
+        if time_s < self._sim.now:
+            raise ValueError(f"cannot schedule {kind} in the past ({time_s} < {self._sim.now})")
+        self.events.append((time_s, kind, node.address))
+        self._sim.schedule_at(time_s, action, label=f"{kind} {node.name}")
+
+
+class RandomWaypoint:
+    """Random-waypoint mobility for one node.
+
+    The node picks a uniform destination in the area, moves towards it at
+    ``speed_mps`` (position updated every ``step_s``), pauses, and
+    repeats.  Movement updates the radio's position directly; link
+    qualities follow on the next transmission.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: MesherNode,
+        *,
+        area: Tuple[float, float, float, float],  # min_x, min_y, max_x, max_y
+        speed_mps: float = 1.4,
+        pause_s: float = 30.0,
+        step_s: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if speed_mps <= 0 or step_s <= 0:
+            raise ValueError("speed and step must be positive")
+        min_x, min_y, max_x, max_y = area
+        if max_x <= min_x or max_y <= min_y:
+            raise ValueError(f"degenerate area {area}")
+        self._sim = sim
+        self._node = node
+        self._area = area
+        self._speed = speed_mps
+        self._pause = pause_s
+        self._step = step_s
+        self._rng = rng or random.Random(node.address)
+        self._target: Optional[Position] = None
+        self._running = False
+        self.legs_completed = 0
+
+    def start(self) -> None:
+        """Begin moving."""
+        if self._running:
+            return
+        self._running = True
+        self._pick_target()
+        self._sim.schedule(self._step, self._tick, label=f"move {self._node.name}")
+
+    def stop(self) -> None:
+        """Freeze the node where it stands."""
+        self._running = False
+
+    def _pick_target(self) -> None:
+        min_x, min_y, max_x, max_y = self._area
+        self._target = (self._rng.uniform(min_x, max_x), self._rng.uniform(min_y, max_y))
+
+    def _tick(self) -> None:
+        if not self._running or not self._node.radio.powered:
+            return
+        assert self._target is not None
+        x, y = self._node.radio.position
+        tx, ty = self._target
+        dist = math.hypot(tx - x, ty - y)
+        hop = self._speed * self._step
+        if dist <= hop:
+            self._node.radio.move_to(self._target)
+            self.legs_completed += 1
+            self._pick_target()
+            self._sim.schedule(self._pause + self._step, self._tick, label=f"move {self._node.name}")
+            return
+        self._node.radio.move_to((x + hop * (tx - x) / dist, y + hop * (ty - y) / dist))
+        self._sim.schedule(self._step, self._tick, label=f"move {self._node.name}")

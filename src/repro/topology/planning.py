@@ -1,0 +1,80 @@
+"""Deployment planning: choosing modulation for a placement.
+
+LoRaMesher runs the whole mesh on one shared parameter set, so before
+deploying you must answer "which SF makes this placement a connected
+mesh, and what does that cost?".  These helpers automate the choice the
+demo's authors made by hand when spreading boards through their building.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.phy.airtime import time_on_air
+from repro.phy.link import LinkBudget
+from repro.phy.modulation import LoRaParams, SpreadingFactor
+from repro.phy.pathloss import Position
+from repro.topology.graphs import connectivity_graph, graph_stats
+
+
+@dataclass(frozen=True)
+class SfPlan:
+    """Outcome of evaluating one SF against a placement."""
+
+    spreading_factor: SpreadingFactor
+    connected: bool
+    diameter: int
+    mean_degree: float
+    frame_toa_s: float  # ToA of a 24 B reference frame
+
+
+def evaluate_sf(
+    positions: Sequence[Position],
+    link_budget: LinkBudget,
+    sf: SpreadingFactor,
+    *,
+    base_params: Optional[LoRaParams] = None,
+    reference_payload: int = 24,
+) -> SfPlan:
+    """Connectivity and cost of running the placement at ``sf``."""
+    params = (base_params or LoRaParams()).replace(spreading_factor=sf)
+    stats = graph_stats(connectivity_graph(positions, link_budget, params))
+    return SfPlan(
+        spreading_factor=sf,
+        connected=stats.connected,
+        diameter=stats.diameter,
+        mean_degree=stats.mean_degree,
+        frame_toa_s=time_on_air(reference_payload, params),
+    )
+
+
+def plan_all_sfs(
+    positions: Sequence[Position],
+    link_budget: LinkBudget,
+    *,
+    base_params: Optional[LoRaParams] = None,
+) -> List[SfPlan]:
+    """Evaluate every SF against the placement, SF7 first."""
+    return [
+        evaluate_sf(positions, link_budget, sf, base_params=base_params)
+        for sf in SpreadingFactor
+    ]
+
+
+def minimum_connecting_sf(
+    positions: Sequence[Position],
+    link_budget: LinkBudget,
+    *,
+    base_params: Optional[LoRaParams] = None,
+) -> Optional[SpreadingFactor]:
+    """The cheapest (lowest) SF at which the placement is one mesh.
+
+    Returns None when even SF12 leaves it partitioned — the deployment
+    needs more nodes, not more spreading factor.  Airtime is monotone in
+    SF, so the lowest connecting SF is also the cheapest.
+    """
+    for plan in plan_all_sfs(positions, link_budget, base_params=base_params):
+        if plan.connected:
+            return plan.spreading_factor
+    return None

@@ -1,0 +1,13 @@
+"""Structured event tracing.
+
+A :class:`~repro.trace.events.TraceRecorder` collects typed event records
+(packet sent/received/forwarded/dropped, route changes, stream lifecycle)
+from every node in a run.  The metrics layer and many tests consume the
+trace instead of poking protocol internals, so assertions stay decoupled
+from implementation details.
+"""
+
+from repro.trace.events import EventKind, TraceEvent, TraceRecorder
+from repro.trace.capture import AirCapture, CapturedFrame
+
+__all__ = ["EventKind", "TraceEvent", "TraceRecorder", "AirCapture", "CapturedFrame"]

@@ -1,0 +1,127 @@
+"""Trace event records and the recorder."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class EventKind(enum.Enum):
+    """Everything the protocol stack reports to the trace."""
+
+    # Link layer
+    FRAME_SENT = "frame_sent"
+    FRAME_RECEIVED = "frame_received"
+    FRAME_CRC_FAILED = "frame_crc_failed"
+    FRAME_DECODE_FAILED = "frame_decode_failed"
+
+    # Routing
+    HELLO_SENT = "hello_sent"
+    HELLO_RECEIVED = "hello_received"
+    ROUTE_ADDED = "route_added"
+    ROUTE_UPDATED = "route_updated"
+    ROUTE_REMOVED = "route_removed"
+
+    # Data plane
+    DATA_ORIGINATED = "data_originated"
+    DATA_FORWARDED = "data_forwarded"
+    DATA_DELIVERED = "data_delivered"
+    DATA_NO_ROUTE = "data_no_route"
+    QUEUE_DROP = "queue_drop"
+
+    # Reliable transport
+    STREAM_STARTED = "stream_started"
+    STREAM_COMPLETED = "stream_completed"
+    STREAM_FAILED = "stream_failed"
+    FRAGMENT_SENT = "fragment_sent"
+    FRAGMENT_RETRANSMITTED = "fragment_retransmitted"
+    LOST_SENT = "lost_sent"
+    ACK_SENT = "ack_sent"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped record."""
+
+    time: float
+    node: int
+    kind: EventKind
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        extras = " ".join(f"{k}={v!r}" for k, v in self.detail.items())
+        return f"<{self.time:10.3f}s node={self.node:#06x} {self.kind.value} {extras}>"
+
+
+class TraceRecorder:
+    """Collects events from every node; queryable by kind/node/window.
+
+    Recording can be disabled (``enabled=False``) for long benchmark runs
+    where only counters matter — ``record`` becomes a counter update only.
+    """
+
+    def __init__(self, *, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self._counts: Dict[EventKind, int] = {k: 0 for k in EventKind}
+        self._listeners: List[Callable[[TraceEvent], None]] = []
+
+    def record(self, time: float, node: int, kind: EventKind, **detail: Any) -> None:
+        """Append one event (or just count it when recording is disabled)."""
+        self._counts[kind] += 1
+        if not self.enabled:
+            return
+        event = TraceEvent(time=time, node=node, kind=kind, detail=detail)
+        if self.capacity is None or len(self._events) < self.capacity:
+            self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Call ``listener`` for every recorded event (live assertions)."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def count(self, kind: EventKind) -> int:
+        """Total occurrences of ``kind`` (counted even when disabled)."""
+        return self._counts[kind]
+
+    def events(
+        self,
+        kind: Optional[EventKind] = None,
+        *,
+        node: Optional[int] = None,
+        after: float = float("-inf"),
+        before: float = float("inf"),
+    ) -> List[TraceEvent]:
+        """Filtered view of the recorded events."""
+        return [
+            e
+            for e in self._events
+            if (kind is None or e.kind is kind)
+            and (node is None or e.node == node)
+            and after <= e.time < before
+        ]
+
+    def first(self, kind: EventKind, **filters: Any) -> Optional[TraceEvent]:
+        """Earliest event of ``kind`` whose detail matches ``filters``."""
+        for event in self._events:
+            if event.kind is kind and all(
+                event.detail.get(k) == v for k, v in filters.items()
+            ):
+                return event
+        return None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        """Drop recorded events (counters persist)."""
+        self._events.clear()

@@ -1,0 +1,19 @@
+"""Traffic generation and canonical scenarios.
+
+Traffic generators drive application sends on mesh (or baseline) nodes;
+each datagram carries a :mod:`probe <repro.workload.probes>` header
+(source, sequence, send-timestamp) so the metrics layer can match
+deliveries to sends and compute PDR and latency without global state.
+"""
+
+from repro.workload.probes import PROBE_OVERHEAD, make_probe, parse_probe, Probe
+from repro.workload.traffic import PeriodicSender, PoissonSender
+
+__all__ = [
+    "Probe",
+    "make_probe",
+    "parse_probe",
+    "PROBE_OVERHEAD",
+    "PeriodicSender",
+    "PoissonSender",
+]

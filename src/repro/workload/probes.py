@@ -1,0 +1,48 @@
+"""Probe payloads: self-describing measurement datagrams.
+
+A probe encodes ``(src, seq, sent_at)`` in its first bytes and pads to the
+requested payload size, so a receiver can compute per-packet latency and
+the metrics layer can count losses by sequence gaps — the standard
+methodology for PDR/latency measurement in mesh testbeds.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+_PROBE = struct.Struct("<HId")  # src, seq, sent_at (float seconds)
+PROBE_MAGIC = b"PB"
+#: Bytes a probe needs before padding.
+PROBE_OVERHEAD = len(PROBE_MAGIC) + _PROBE.size
+
+
+@dataclass(frozen=True)
+class Probe:
+    """Decoded probe header."""
+
+    src: int
+    seq: int
+    sent_at: float
+    size: int  # full payload size including padding
+
+
+def make_probe(src: int, seq: int, sent_at: float, *, size: int = PROBE_OVERHEAD) -> bytes:
+    """Build a probe payload of exactly ``size`` bytes."""
+    if size < PROBE_OVERHEAD:
+        raise ValueError(f"probe size must be >= {PROBE_OVERHEAD}, got {size}")
+    header = PROBE_MAGIC + _PROBE.pack(src, seq, sent_at)
+    return header + bytes(size - len(header))
+
+
+def parse_probe(payload: bytes) -> Probe:
+    """Decode a probe payload; raises ValueError for non-probe bytes."""
+    if len(payload) < PROBE_OVERHEAD or payload[: len(PROBE_MAGIC)] != PROBE_MAGIC:
+        raise ValueError("not a probe payload")
+    src, seq, sent_at = _PROBE.unpack_from(payload, len(PROBE_MAGIC))
+    return Probe(src=src, seq=seq, sent_at=sent_at, size=len(payload))
+
+
+def is_probe(payload: bytes) -> bool:
+    """Cheap check without raising."""
+    return len(payload) >= PROBE_OVERHEAD and payload[: len(PROBE_MAGIC)] == PROBE_MAGIC

@@ -1,0 +1,181 @@
+"""Canonical named scenarios.
+
+The same handful of deployments appear across the examples, tests, and
+benchmarks (the paper's 4-node demo line, the diamond with two disjoint
+relay paths, the campus, the dense single cell...).  Defining them once
+keeps geometry assumptions — "120 m spacing means neighbour-only chains
+at SF7" — in a single audited place.
+
+Every scenario returns a :class:`Scenario` with positions, a suggested
+flow list, and provenance notes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.experiments.runner import TrafficSpec
+from repro.topology.placement import (
+    campus_positions,
+    grid_positions,
+    line_positions,
+    ring_positions,
+)
+
+Position = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named deployment plus its canonical traffic."""
+
+    name: str
+    description: str
+    positions: Tuple[Position, ...]
+    flows: Tuple[TrafficSpec, ...]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the deployment."""
+        return len(self.positions)
+
+
+def demo_line(n: int = 4, *, period_s: float = 60.0) -> Scenario:
+    """The paper's demo: an n-node neighbour-only chain, ends talking."""
+    return Scenario(
+        name=f"demo_line_{n}",
+        description=(
+            f"{n} nodes at 120 m spacing (SF7 neighbour-only chain); the "
+            "end nodes exchange data while the middle nodes route — the "
+            "ICDCS'22 live demonstration."
+        ),
+        positions=tuple(line_positions(n)),
+        flows=(
+            TrafficSpec(src_index=0, dst_index=n - 1, period_s=period_s),
+            TrafficSpec(src_index=n - 1, dst_index=0, period_s=period_s),
+        ),
+    )
+
+
+def diamond(*, period_s: float = 30.0) -> Scenario:
+    """Two disjoint 2-hop paths between the endpoints (repair studies)."""
+    return Scenario(
+        name="diamond",
+        description=(
+            "A-D connected only through relays B and C (disjoint 2-hop "
+            "paths): the canonical self-healing topology of E8."
+        ),
+        positions=((0.0, 0.0), (120.0, 45.0), (120.0, -45.0), (240.0, 0.0)),
+        flows=(TrafficSpec(src_index=0, dst_index=3, period_s=period_s),),
+    )
+
+
+def dense_cell(n: int = 8, *, period_s: float = 60.0) -> Scenario:
+    """Every node hears every other (one radio cell): MAC stress."""
+    positions = tuple(ring_positions(n, radius_m=60.0))
+    flows = tuple(
+        TrafficSpec(src_index=i, dst_index=(i + n // 2) % n, period_s=period_s)
+        for i in range(n)
+    )
+    return Scenario(
+        name=f"dense_cell_{n}",
+        description=(
+            f"{n} nodes on a 60 m ring — all within one radio cell, so "
+            "collisions/backoff dominate (the A2 ablation's habitat)."
+        ),
+        positions=positions,
+        flows=flows,
+    )
+
+
+def sensor_grid(rows: int = 3, cols: int = 3, *, period_s: float = 120.0) -> Scenario:
+    """Outer nodes report to the centre across a 100 m grid."""
+    positions = tuple(grid_positions(rows, cols, spacing_m=100.0))
+    centre = (rows // 2) * cols + cols // 2
+    flows = tuple(
+        TrafficSpec(src_index=i, dst_index=centre, period_s=period_s)
+        for i in range(len(positions))
+        if i != centre
+    )
+    return Scenario(
+        name=f"sensor_grid_{rows}x{cols}",
+        description=(
+            f"{rows}x{cols} grid at 100 m; every node reports to the "
+            "centre (diagonals are out of SF7 range, so edge nodes route)."
+        ),
+        positions=positions,
+        flows=flows,
+    )
+
+
+def campus(
+    clusters: int = 4,
+    nodes_per_cluster: int = 3,
+    *,
+    seed: int = 7,
+    period_s: float = 300.0,
+) -> Scenario:
+    """The paper's motivation: clustered labs strung across a campus."""
+    positions = tuple(
+        campus_positions(
+            clusters,
+            nodes_per_cluster,
+            cluster_distance_m=110.0,
+            rng=random.Random(seed),
+        )
+    )
+    # All sensors report to the first node (the sink).
+    flows = tuple(
+        TrafficSpec(src_index=i, dst_index=0, period_s=period_s)
+        for i in range(1, len(positions))
+    )
+    return Scenario(
+        name=f"campus_{clusters}x{nodes_per_cluster}",
+        description=(
+            f"{clusters} clusters of {nodes_per_cluster} nodes, adjacent "
+            "clusters in range of each other, distant ones not — the "
+            "paper's building-scale IoT deployment."
+        ),
+        positions=positions,
+        flows=flows,
+    )
+
+
+def hidden_terminals() -> Scenario:
+    """Two senders that cannot hear each other, one victim in between."""
+    return Scenario(
+        name="hidden_terminals",
+        description=(
+            "A (0 m) and B (260 m) both reach C (130 m) but not each "
+            "other: CAD cannot prevent their frames colliding at C."
+        ),
+        positions=((0.0, 0.0), (260.0, 0.0), (130.0, 0.0)),
+        flows=(
+            TrafficSpec(src_index=0, dst_index=2, period_s=30.0),
+            TrafficSpec(src_index=1, dst_index=2, period_s=30.0),
+        ),
+    )
+
+
+#: Registry of every canonical scenario factory by name.
+SCENARIOS = {
+    "demo_line": demo_line,
+    "diamond": diamond,
+    "dense_cell": dense_cell,
+    "sensor_grid": sensor_grid,
+    "campus": campus,
+    "hidden_terminals": hidden_terminals,
+}
+
+
+def get_scenario(name: str, **kwargs) -> Scenario:
+    """Build a canonical scenario by registry name."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    return factory(**kwargs)

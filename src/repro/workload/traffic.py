@@ -1,0 +1,142 @@
+"""Traffic generators.
+
+Both generators call a generic ``send(dst, payload) -> bool`` callable,
+so they drive mesh nodes and baseline nodes alike.  Every payload is a
+probe (see :mod:`repro.workload.probes`); the generator reports each send
+to an optional :class:`~repro.metrics.collect.FlowRecorder`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Protocol
+
+from repro.sim.kernel import PeriodicTimer, Simulator
+from repro.workload.probes import PROBE_OVERHEAD, make_probe
+
+SendFn = Callable[[int, bytes], bool]
+
+
+class SendListener(Protocol):
+    """Where generators report their sends (the FlowRecorder implements it)."""
+
+    def sent(self, src: int, dst: int, seq: int, time: float, size: int) -> None: ...
+
+
+class _SenderBase:
+    """Common state of the concrete generators."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: int,
+        dst: int,
+        send: SendFn,
+        *,
+        payload_size: int = PROBE_OVERHEAD,
+        listener: Optional[SendListener] = None,
+        max_packets: Optional[int] = None,
+    ) -> None:
+        if payload_size < PROBE_OVERHEAD:
+            raise ValueError(f"payload_size must be >= {PROBE_OVERHEAD}")
+        self._sim = sim
+        self.src = src
+        self.dst = dst
+        self._send = send
+        self.payload_size = payload_size
+        self._listener = listener
+        self.max_packets = max_packets
+        self.seq = 0
+        self.sent_count = 0
+        self.refused_count = 0  # send() returned False (no route / queue full)
+
+    def _emit(self) -> None:
+        if self.max_packets is not None and self.sent_count >= self.max_packets:
+            self.stop()
+            return
+        payload = make_probe(self.src, self.seq, self._sim.now, size=self.payload_size)
+        accepted = self._send(self.dst, payload)
+        if self._listener is not None:
+            self._listener.sent(self.src, self.dst, self.seq, self._sim.now, self.payload_size)
+        self.seq += 1
+        self.sent_count += 1
+        if not accepted:
+            self.refused_count += 1
+
+    def stop(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class PeriodicSender(_SenderBase):
+    """Fixed-period traffic (the classic IoT sensor-report pattern)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: int,
+        dst: int,
+        send: SendFn,
+        *,
+        period_s: float,
+        jitter_fraction: float = 0.1,
+        rng: Optional[random.Random] = None,
+        start_delay_s: Optional[float] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, src, dst, send, **kwargs)
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not 0 <= jitter_fraction < 1:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        self.period_s = period_s
+        self._rng = rng or random.Random(src)
+        spread = jitter_fraction * period_s
+        jitter = (lambda: self._rng.uniform(-spread, spread)) if spread else None
+        first = start_delay_s if start_delay_s is not None else self._rng.uniform(0, period_s)
+        self._timer = PeriodicTimer(sim, period_s, self._emit, jitter=jitter, label=f"traffic {src:#06x}")
+        self._timer.start(first_delay=first)
+
+    def stop(self) -> None:
+        """Stop generating."""
+        self._timer.cancel()
+
+
+class PoissonSender(_SenderBase):
+    """Poisson-process traffic with mean rate ``1/mean_interval_s``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: int,
+        dst: int,
+        send: SendFn,
+        *,
+        mean_interval_s: float,
+        rng: random.Random,
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, src, dst, send, **kwargs)
+        if mean_interval_s <= 0:
+            raise ValueError("mean_interval_s must be positive")
+        self.mean_interval_s = mean_interval_s
+        self._rng = rng
+        self._stopped = False
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        self._sim.schedule(
+            self._rng.expovariate(1.0 / self.mean_interval_s),
+            self._tick,
+            label=f"poisson {self.src:#06x}",
+        )
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._emit()
+        if not self._stopped:
+            self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop generating."""
+        self._stopped = True

@@ -1,0 +1,160 @@
+"""Tests for the AODV-style reactive routing baseline."""
+
+import pytest
+
+from repro.baselines.aodv import (
+    AodvFrame,
+    AodvNetwork,
+    AodvNode,
+    TYPE_DATA,
+    decode_frame,
+    encode_frame,
+)
+from repro.topology.placement import grid_positions, line_positions
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = encode_frame(0x0001, 0x0002, TYPE_DATA, 0x0003, b"\x01\x00payload")
+        decoded = decode_frame(frame)
+        assert decoded.dst == 0x0001
+        assert decoded.src == 0x0002
+        assert decoded.sender == 0x0003
+        assert decoded.body == b"\x01\x00payload"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            decode_frame(b"\x00\x01")
+        with pytest.raises(ValueError):
+            decode_frame(encode_frame(1, 2, 0x7F, 3, b""))
+
+
+class TestDiscoveryAndDelivery:
+    def test_on_demand_multihop_delivery(self):
+        net = AodvNetwork(line_positions(4), seed=1)
+        a, d = net.addresses[0], net.addresses[-1]
+        assert net.node(a).send(d, b"on demand")
+        net.run(for_s=120.0)
+        message = net.node(d).receive()
+        assert message is not None
+        assert message.payload == b"on demand"
+        assert message.src == a
+
+    def test_no_traffic_no_frames(self):
+        # The whole point of reactive routing: an idle network is silent.
+        net = AodvNetwork(line_positions(5), seed=2)
+        net.run(for_s=3600.0)
+        assert net.total_frames_sent() == 0
+
+    def test_discovery_builds_routes_along_path(self):
+        net = AodvNetwork(line_positions(4), seed=3)
+        a, d = net.addresses[0], net.addresses[-1]
+        net.node(a).send(d, b"x")
+        net.run(for_s=120.0)
+        assert net.node(a).has_route(d)
+        # Relays learned both directions.
+        middle = net.node(net.addresses[1])
+        assert middle.has_route(a)
+        assert middle.has_route(d)
+
+    def test_second_packet_skips_discovery(self):
+        net = AodvNetwork(line_positions(4), seed=4)
+        a, d = net.addresses[0], net.addresses[-1]
+        net.node(a).send(d, b"first")
+        net.run(for_s=120.0)
+        control_after_first = net.total_control_frames()
+        net.node(a).send(d, b"second")
+        net.run(for_s=120.0)
+        assert net.total_control_frames() == control_after_first
+        # Both delivered.
+        received = []
+        while (m := net.node(d).receive()) is not None:
+            received.append(m.payload)
+        assert received == [b"first", b"second"]
+
+    def test_reverse_traffic_reuses_reverse_routes(self):
+        net = AodvNetwork(line_positions(4), seed=5)
+        a, d = net.addresses[0], net.addresses[-1]
+        net.node(a).send(d, b"ping")
+        net.run(for_s=120.0)
+        control = net.total_control_frames()
+        net.node(d).send(a, b"pong")
+        net.run(for_s=120.0)
+        assert net.total_control_frames() == control  # no new RREQ flood
+        assert net.node(a).receive().payload == b"pong"
+
+    def test_grid_discovery(self):
+        net = AodvNetwork(grid_positions(3, 3, spacing_m=100.0), seed=6)
+        corners = (net.addresses[0], net.addresses[8])
+        net.node(corners[0]).send(corners[1], b"across the grid")
+        net.run(for_s=180.0)
+        assert net.node(corners[1]).receive() is not None
+
+
+class TestFailureModes:
+    def test_unreachable_target_fails_discovery(self):
+        net = AodvNetwork([(0.0, 0.0), (80.0, 0.0), (5000.0, 0.0)], seed=7)
+        a, far = net.addresses[0], net.addresses[2]
+        node = net.node(a)
+        assert node.send(far, b"void")
+        net.run(for_s=300.0)
+        assert node.stats.discovery_failures == 1
+        assert node.stats.buffered_drops >= 1
+        assert not node.has_route(far)
+
+    def test_buffer_capacity_enforced(self):
+        net = AodvNetwork([(0.0, 0.0), (5000.0, 0.0)], seed=8)
+        node = net.node(net.addresses[0])
+        target = net.addresses[1]
+        results = [node.send(target, bytes([i])) for i in range(12)]
+        assert not all(results)  # buffer filled during hopeless discovery
+
+    def test_routes_expire_without_use(self):
+        net = AodvNetwork(line_positions(3), seed=9)
+        a, c = net.addresses[0], net.addresses[2]
+        net.node(a).send(c, b"x")
+        net.run(for_s=60.0)
+        assert net.node(a).has_route(c)
+        net.run(for_s=AodvNode.ROUTE_LIFETIME_S + 60.0)
+        assert not net.node(a).has_route(c)
+
+    def test_rediscovery_after_expiry(self):
+        net = AodvNetwork(line_positions(3), seed=10)
+        a, c = net.addresses[0], net.addresses[2]
+        net.node(a).send(c, b"one")
+        net.run(for_s=AodvNode.ROUTE_LIFETIME_S + 120.0)
+        control = net.total_control_frames()
+        net.node(a).send(c, b"two")
+        net.run(for_s=120.0)
+        assert net.total_control_frames() > control  # a fresh RREQ flood
+        received = []
+        while (m := net.node(c).receive()) is not None:
+            received.append(m.payload)
+        assert b"two" in received
+
+    def test_dead_relay_breaks_route_until_rediscovery(self):
+        net = AodvNetwork(line_positions(3), seed=11)
+        a, b, c = net.addresses
+        net.node(a).send(c, b"one")
+        net.run(for_s=60.0)
+        assert net.node(c).receive() is not None
+        net.node(b).radio.power_off()
+        # The stale route still points through the corpse: loss.
+        net.node(a).send(c, b"two")
+        net.run(for_s=120.0)
+        assert net.node(c).receive() is None
+
+
+class TestRreqSuppression:
+    def test_duplicate_rreqs_not_relayed(self):
+        # Dense cell: every node hears the RREQ directly and each relays
+        # at most once.
+        from repro.topology.placement import ring_positions
+
+        net = AodvNetwork(ring_positions(6, radius_m=50.0), seed=12)
+        a, d = net.addresses[0], net.addresses[3]
+        net.node(a).send(d, b"x")
+        net.run(for_s=120.0)
+        for address in net.addresses:
+            node = net.node(address)
+            assert node.stats.rreqs_relayed <= 1

@@ -1,0 +1,97 @@
+"""Tests for the controlled-flooding baseline."""
+
+import pytest
+
+from repro.baselines.flooding import (
+    FloodFrame,
+    FloodingNetwork,
+    decode_flood,
+    encode_flood,
+)
+from repro.net.addresses import BROADCAST_ADDRESS
+from repro.topology.placement import line_positions
+
+
+class TestFloodFraming:
+    def test_roundtrip(self):
+        frame = FloodFrame(dst=1, src=2, seq=300, ttl=5, payload=b"flood")
+        assert decode_flood(encode_flood(frame)) == frame
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            encode_flood(FloodFrame(dst=1, src=2, seq=0, ttl=1, payload=bytes(250)))
+
+    def test_non_flood_frame_rejected(self):
+        with pytest.raises(ValueError):
+            decode_flood(b"\x00" * 20)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            decode_flood(b"\x01\x02")
+
+
+class TestFloodingDelivery:
+    def test_multihop_unicast_delivery(self):
+        net = FloodingNetwork(line_positions(4), seed=1)
+        src, dst = net.addresses[0], net.addresses[-1]
+        net.node(src).send(dst, b"end to end")
+        net.run(for_s=30.0)
+        message = net.node(dst).receive()
+        assert message is not None
+        assert message.payload == b"end to end"
+
+    def test_no_routing_state_needed(self):
+        # Flooding delivers immediately from cold start (no convergence).
+        net = FloodingNetwork(line_positions(3), seed=2)
+        net.node(net.addresses[0]).send(net.addresses[-1], b"instant")
+        net.run(for_s=10.0)
+        assert net.node(net.addresses[-1]).receive() is not None
+
+    def test_broadcast_reaches_everyone(self):
+        net = FloodingNetwork(line_positions(4), seed=3)
+        net.node(net.addresses[0]).send(BROADCAST_ADDRESS, b"all")
+        net.run(for_s=30.0)
+        for address in net.addresses[1:]:
+            assert net.node(address).receive() is not None
+
+    def test_duplicates_suppressed(self):
+        net = FloodingNetwork(line_positions(4), seed=4)
+        net.node(net.addresses[0]).send(BROADCAST_ADDRESS, b"x")
+        net.run(for_s=30.0)
+        # Each node delivers the flood exactly once.
+        for address in net.addresses[1:]:
+            node = net.node(address)
+            assert node.delivered == 1
+
+    def test_ttl_bounds_propagation(self):
+        net = FloodingNetwork(line_positions(5), ttl=2, seed=5)
+        net.node(net.addresses[0]).send(BROADCAST_ADDRESS, b"short leash")
+        net.run(for_s=30.0)
+        # TTL 2: source + one relay generation -> nodes 2 away get it,
+        # the far end (4 hops) does not.
+        assert net.node(net.addresses[1]).delivered == 1
+        assert net.node(net.addresses[-1]).delivered == 0
+
+    def test_flooding_costs_more_frames_than_hops(self):
+        # At 60 m spacing each node hears two hops away: the shortest path
+        # is 2 transmissions, but every intermediate node rebroadcasts.
+        net = FloodingNetwork(line_positions(5, spacing_m=60.0), seed=6)
+        net.node(net.addresses[0]).send(net.addresses[-1], b"pricey")
+        net.run(for_s=30.0)
+        assert net.total_frames_sent() > 2
+
+    def test_unicast_target_does_not_rebroadcast(self):
+        net = FloodingNetwork(line_positions(3), seed=7)
+        mid = net.addresses[1]
+        net.node(net.addresses[0]).send(mid, b"stop here")
+        net.run(for_s=30.0)
+        assert net.node(mid).rebroadcasts == 0
+
+    def test_dedup_cache_eviction(self):
+        net = FloodingNetwork(line_positions(2), seed=8)
+        node = net.node(net.addresses[0])
+        node.DEDUP_CAPACITY = 4
+        for i in range(10):
+            node.send(net.addresses[1], bytes([i]))
+        net.run(for_s=60.0)
+        assert len(node._seen) <= 4

@@ -1,0 +1,48 @@
+"""Tests for the oracle routing baseline."""
+
+import pytest
+
+from repro.baselines.idealrouter import OracleNode, build_oracle_network
+from repro.topology.placement import line_positions
+
+
+class TestOracle:
+    def test_tables_prefilled_with_shortest_paths(self):
+        net = build_oracle_network(line_positions(4))
+        first = net.nodes[0]
+        assert first.table.metric(net.addresses[1]) == 1
+        assert first.table.metric(net.addresses[2]) == 2
+        assert first.table.metric(net.addresses[3]) == 3
+        assert first.table.next_hop(net.addresses[3]) == net.addresses[1]
+
+    def test_no_hellos_ever_sent(self):
+        net = build_oracle_network(line_positions(3))
+        net.run(for_s=3600.0)
+        assert all(n.hello.hellos_sent == 0 for n in net.nodes)
+        # And therefore zero frames in an idle network.
+        assert net.total_frames_sent() == 0
+
+    def test_delivery_works_immediately(self):
+        net = build_oracle_network(line_positions(4))
+        a, d = net.nodes[0], net.nodes[-1]
+        a.send_datagram(d.address, b"instant route")
+        net.run(for_s=60.0)
+        assert d.receive().payload == b"instant route"
+
+    def test_routes_never_expire(self):
+        net = build_oracle_network(line_positions(3))
+        net.run(for_s=7200.0)  # far past the default route timeout
+        assert net.nodes[0].table.has_route(net.addresses[-1])
+
+    def test_partition_leaves_no_route(self):
+        # Two clusters 5 km apart: even the oracle cannot cross.
+        positions = [(0.0, 0.0), (80.0, 0.0), (5000.0, 0.0), (5080.0, 0.0)]
+        net = build_oracle_network(positions)
+        assert not net.nodes[0].table.has_route(net.addresses[2])
+        assert net.nodes[0].table.has_route(net.addresses[1])
+
+    def test_oracle_node_start_skips_hello(self, sim, medium):
+        node = OracleNode(sim, medium, 0x0001, (0.0, 0.0))
+        node.start()
+        assert node.started
+        assert not node.hello.running

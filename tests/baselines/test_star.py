@@ -1,0 +1,71 @@
+"""Tests for the LoRaWAN-style star baseline."""
+
+import pytest
+
+from repro.baselines.star import StarNetwork
+from repro.topology.placement import line_positions
+
+
+class TestStarTopology:
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            StarNetwork([(0.0, 0.0)])
+
+    def test_gateway_index_validated(self):
+        with pytest.raises(ValueError):
+            StarNetwork(line_positions(3), gateway_index=5)
+
+    def test_gateway_accessor(self):
+        net = StarNetwork(line_positions(3), gateway_index=1)
+        assert net.gateway.address == net.addresses[1]
+        assert len(net.end_nodes()) == 2
+
+
+class TestStarDelivery:
+    def test_uplink_to_gateway(self):
+        net = StarNetwork([(0.0, 0.0), (80.0, 0.0)], gateway_index=0)
+        end = net.end_nodes()[0]
+        end.send(net.gateway_address, b"report")
+        net.run(for_s=10.0)
+        message = net.gateway.receive()
+        assert message is not None
+        assert message.payload == b"report"
+
+    def test_node_to_node_via_gateway_relay(self):
+        # Triangle: both ends in range of the central gateway.
+        net = StarNetwork([(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)], gateway_index=1)
+        a, b = net.end_nodes()
+        a.send(b.address, b"two hops")
+        net.run(for_s=10.0)
+        message = b.receive()
+        assert message is not None
+        assert message.payload == b"two hops"
+        assert message.src == a.address
+        assert net.gateway.downlinks_relayed == 1
+
+    def test_out_of_gateway_range_is_unreachable(self):
+        # The motivating failure: 240 m from the gateway at SF7 is silence.
+        net = StarNetwork([(0.0, 0.0), (120.0, 0.0), (360.0, 0.0)], gateway_index=1)
+        a, far = net.end_nodes()
+        far.send(a.address, b"lost")
+        net.run(for_s=30.0)
+        assert a.receive() is None
+        assert net.gateway.uplinks_received == 0
+
+    def test_even_neighbours_pay_two_hops(self):
+        # Two end nodes right next to each other still route via gateway.
+        net = StarNetwork([(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)], gateway_index=0)
+        a, b = net.end_nodes()
+        a.send(b.address, b"detour")
+        net.run(for_s=10.0)
+        assert b.receive() is not None
+        assert net.total_frames_sent() == 2  # uplink + downlink
+
+    def test_gateway_broadcast_delivery(self):
+        from repro.net.addresses import BROADCAST_ADDRESS
+
+        net = StarNetwork([(0.0, 0.0), (80.0, 0.0)], gateway_index=0)
+        end = net.end_nodes()[0]
+        end.send(BROADCAST_ADDRESS, b"to gw")
+        net.run(for_s=10.0)
+        assert net.gateway.receive() is not None

@@ -1,0 +1,58 @@
+"""Tests for the ASCII plotter."""
+
+import pytest
+
+from repro.experiments.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_chart_structure(self):
+        chart = ascii_plot({"s": [(0, 0), (10, 10)]}, width=20, height=5, title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert any("+" + "-" * 20 in line for line in lines)
+        assert "o=s" in lines[-1]
+
+    def test_extreme_points_land_on_edges(self):
+        chart = ascii_plot({"s": [(0, 0), (10, 10)]}, width=21, height=7)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        # Max y point is in the top plot row, min in the bottom one.
+        assert "o" in lines[0]
+        assert "o" in lines[-1]
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_plot({"a": [(0, 0)], "b": [(1, 1)]})
+        assert "o=a" in chart
+        assert "x=b" in chart
+
+    def test_axis_labels_rendered(self):
+        chart = ascii_plot(
+            {"s": [(0, 0), (1, 1)]}, x_label="time", y_label="coverage"
+        )
+        assert "[time]" in chart
+        assert "[coverage]" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_plot({"flat": [(0, 5), (10, 5)]})
+        assert "o" in chart
+
+    def test_single_point(self):
+        chart = ascii_plot({"dot": [(3, 3)]})
+        assert "o" in chart
+
+    def test_nonfinite_points_skipped(self):
+        chart = ascii_plot({"s": [(0, 0), (float("nan"), 1), (1, float("inf")), (2, 2)]})
+        assert "o" in chart
+
+    def test_all_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(float("nan"), float("nan"))]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_tick_formatting(self):
+        chart = ascii_plot({"s": [(0.0, 0.0), (1000.0, 0.123456)]})
+        assert "1000" in chart
+        assert "0.123" in chart

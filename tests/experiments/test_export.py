@@ -1,0 +1,79 @@
+"""Tests for JSON experiment export."""
+
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    ExperimentRecord,
+    export_records,
+    load_records,
+    run_result_summary,
+)
+from repro.experiments.runner import Protocol, TrafficSpec, run_protocol
+from repro.net.config import MesherConfig
+from repro.topology.placement import line_positions
+
+FAST = MesherConfig(hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0)
+
+
+class TestExperimentRecord:
+    def test_add_row_validates_width(self):
+        record = ExperimentRecord("e1", "test", columns=["a", "b"])
+        record.add_row(1, 2)
+        with pytest.raises(ValueError):
+            record.add_row(1)
+
+    def test_nonfinite_floats_mapped(self):
+        record = ExperimentRecord("e1", "test", columns=["v"])
+        record.add_row(float("inf"))
+        record.add_row(float("nan"))
+        assert record.rows == [["inf"], ["nan"]]
+
+
+class TestExportLoad:
+    def test_roundtrip(self, tmp_path):
+        record = ExperimentRecord(
+            "e2", "multi-hop", parameters={"hops": 3}, columns=["hops", "pdr"]
+        )
+        record.add_row(3, 0.98)
+        path = export_records([record], tmp_path / "results.json", metadata={"seed": 7})
+        loaded = load_records(path)
+        assert len(loaded) == 1
+        assert loaded[0].experiment_id == "e2"
+        assert loaded[0].parameters == {"hops": 3}
+        assert loaded[0].rows == [[3, 0.98]]
+
+    def test_document_structure(self, tmp_path):
+        path = export_records([], tmp_path / "empty.json")
+        document = json.loads(path.read_text())
+        assert document["schema_version"] == 1
+        assert document["experiments"] == []
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 99, "experiments": []}))
+        with pytest.raises(ValueError):
+            load_records(path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = export_records([], tmp_path / "deep" / "nested" / "r.json")
+        assert path.exists()
+
+
+class TestRunResultSummary:
+    def test_summary_fields(self):
+        result = run_protocol(
+            Protocol.MESH,
+            line_positions(2, spacing_m=80.0),
+            [TrafficSpec(src_index=0, dst_index=1, period_s=60.0)],
+            duration_s=300.0,
+            seed=1,
+            config=FAST,
+        )
+        summary = run_result_summary(result)
+        assert summary["protocol"] == "mesh"
+        assert summary["sent"] > 0
+        assert 0 <= summary["pdr"] <= 1
+        # The whole summary is JSON-serialisable.
+        json.dumps(summary)

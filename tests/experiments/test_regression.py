@@ -1,0 +1,75 @@
+"""Tests for result-file regression comparison."""
+
+import pytest
+
+from repro.experiments.export import ExperimentRecord, export_records
+from repro.experiments.regression import compare_files, compare_records
+
+
+def record(exp_id="e1", columns=("x", "pdr"), rows=((1, 0.95), (2, 0.90))):
+    rec = ExperimentRecord(exp_id, "test", columns=list(columns))
+    for row in rows:
+        rec.add_row(*row)
+    return rec
+
+
+class TestCompare:
+    def test_identical_documents_match(self):
+        report = compare_records([record()], [record()])
+        assert report.ok
+        assert report.compared_experiments == 1
+        assert report.compared_cells == 4
+
+    def test_within_tolerance_matches(self):
+        base = record(rows=((1, 1.00),))
+        cand = record(rows=((1, 1.05),))
+        assert compare_records([base], [cand], rel_tolerance=0.10).ok
+
+    def test_beyond_tolerance_flagged(self):
+        base = record(rows=((1, 1.00),))
+        cand = record(rows=((1, 1.30),))
+        report = compare_records([base], [cand], rel_tolerance=0.10)
+        assert not report.ok
+        assert report.differences[0].kind == "value"
+        assert "pdr" in report.differences[0].detail
+
+    def test_near_zero_uses_abs_tolerance(self):
+        base = record(rows=((1, 0.0),))
+        cand = record(rows=((1, 1e-12),))
+        assert compare_records([base], [cand], abs_tolerance=1e-9).ok
+
+    def test_string_cells_must_match_exactly(self):
+        base = record(columns=("outcome",), rows=(("ok",),))
+        cand = record(columns=("outcome",), rows=(("FAIL",),))
+        report = compare_records([base], [cand])
+        assert not report.ok
+
+    def test_missing_and_extra_experiments(self):
+        report = compare_records([record("e1")], [record("e2")])
+        kinds = {d.kind for d in report.differences}
+        assert kinds == {"missing", "extra"}
+
+    def test_shape_mismatch(self):
+        base = record(rows=((1, 0.9),))
+        cand = record(rows=((1, 0.9), (2, 0.8)))
+        report = compare_records([base], [cand])
+        assert report.differences[0].kind == "shape"
+
+    def test_format_readable(self):
+        ok = compare_records([record()], [record()])
+        assert ok.format().startswith("OK")
+        bad = compare_records([record("e1")], [])
+        assert "missing" in bad.format()
+
+
+class TestFiles:
+    def test_compare_files_roundtrip(self, tmp_path):
+        base_path = export_records([record()], tmp_path / "base.json")
+        cand_path = export_records([record()], tmp_path / "cand.json")
+        assert compare_files(base_path, cand_path).ok
+
+    def test_compare_files_detects_drift(self, tmp_path):
+        base_path = export_records([record(rows=((1, 0.95),))], tmp_path / "base.json")
+        cand_path = export_records([record(rows=((1, 0.50),))], tmp_path / "cand.json")
+        report = compare_files(base_path, cand_path)
+        assert not report.ok

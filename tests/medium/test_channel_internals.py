@@ -1,0 +1,58 @@
+"""Focused tests on medium internals: overlap bookkeeping and pruning."""
+
+import pytest
+
+from repro.medium.channel import DropReason
+from repro.phy.airtime import time_on_air
+
+from tests.conftest import build_radios
+
+
+class TestRecentPruning:
+    def test_completed_transmissions_eventually_pruned(self, sim, medium, params):
+        a, b = build_radios(sim, medium, [(0.0, 0.0), (50.0, 0.0)], params)
+        for i in range(20):
+            a.transmit(bytes(10))
+            sim.run(until=sim.now + 1.0)
+        # The recent list holds only transmissions that could still
+        # overlap something — after quiet gaps, at most a couple.
+        assert len(medium._recent) <= 2
+
+    def test_back_to_back_chain_overlap_resolution(self, sim, medium, params):
+        # Three overlapping transmissions in a chain: t1 overlaps t2,
+        # t2 overlaps t3, t1 does not overlap t3.  t2's resolution (after
+        # t1 completed) must still see t1 in the recent list.
+        a, b, c = build_radios(
+            sim, medium, [(0.0, 0.0), (100.0, 0.0), (50.0, 0.0)], params
+        )
+        toa = time_on_air(40, params)
+        a.transmit(bytes(40))
+        sim.run(until=toa * 0.6)
+        b.transmit(bytes(40))  # overlaps a's tail
+        sim.run(until=10.0)
+        counts = medium.outcome_counts()
+        # Both frames were corrupted at c (pairwise overlap).
+        assert counts[DropReason.COLLISION] >= 2
+
+    def test_outcome_histogram_totals(self, sim, medium, params):
+        a, b = build_radios(sim, medium, [(0.0, 0.0), (50.0, 0.0)], params)
+        a.transmit(bytes(5))
+        sim.run(until=5.0)
+        counts = medium.outcome_counts()
+        # One transmission, one listener -> exactly one outcome recorded.
+        assert sum(counts.values()) == 1
+        assert counts[DropReason.DELIVERED] == 1
+
+
+class TestKernelPriorityInterplay:
+    def test_reception_resolves_before_same_time_timer(self, sim, medium, params):
+        """A protocol timer scheduled for the exact frame-end instant must
+        observe the delivered frame (PRIORITY_HIGH on reception)."""
+        a, b = build_radios(sim, medium, [(0.0, 0.0), (50.0, 0.0)], params)
+        got = []
+        b.on_receive = got.append
+        airtime = a.transmit(bytes(10))
+        observed = []
+        sim.schedule_at(airtime, lambda: observed.append(len(got)))
+        sim.run(until=1.0)
+        assert observed == [1]  # the frame landed before the timer ran

@@ -1,0 +1,109 @@
+"""Tests for flow recording and overhead summaries."""
+
+import pytest
+
+from repro.metrics.collect import FlowRecorder, attach_recorder, overhead_summary
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.net.mesher import AppMessage
+from repro.topology.placement import line_positions
+from repro.workload.probes import make_probe
+
+FAST = MesherConfig(hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0)
+
+
+def delivery(src, seq, sent_at, received_at, *, size=24):
+    return AppMessage(
+        src=src, payload=make_probe(src, seq, sent_at, size=size), received_at=received_at, reliable=False
+    )
+
+
+class TestFlowRecorder:
+    def test_pdr_counts_matched_deliveries(self):
+        r = FlowRecorder()
+        for seq in range(4):
+            r.sent(1, 2, seq, float(seq), 24)
+        r.delivered(2, delivery(1, 0, 0.0, 0.5))
+        r.delivered(2, delivery(1, 2, 2.0, 2.5))
+        flow = r.flow(1, 2)
+        assert flow.sent == 4
+        assert flow.delivered == 2
+        assert flow.pdr == 0.5
+
+    def test_latency_computed_from_probe_timestamp(self):
+        r = FlowRecorder()
+        r.sent(1, 2, 0, 10.0, 24)
+        r.delivered(2, delivery(1, 0, 10.0, 11.25))
+        assert r.flow(1, 2).latency.mean == pytest.approx(1.25)
+
+    def test_duplicates_counted_once(self):
+        r = FlowRecorder()
+        r.sent(1, 2, 0, 0.0, 24)
+        r.delivered(2, delivery(1, 0, 0.0, 1.0))
+        r.delivered(2, delivery(1, 0, 0.0, 2.0))
+        flow = r.flow(1, 2)
+        assert flow.delivered == 1
+        assert flow.duplicates == 1
+
+    def test_non_probe_messages_tracked_separately(self):
+        r = FlowRecorder()
+        r.delivered(2, AppMessage(src=1, payload=b"hello", received_at=0.0, reliable=False))
+        assert r.non_probe_messages == 1
+        assert r.total_delivered() == 0
+
+    def test_aggregate_over_flows(self):
+        r = FlowRecorder()
+        r.sent(1, 2, 0, 0.0, 24)
+        r.sent(3, 2, 0, 0.0, 24)
+        r.delivered(2, delivery(1, 0, 0.0, 1.0))
+        assert r.aggregate_pdr() == 0.5
+        assert r.total_sent() == 2
+
+    def test_zero_sent_pdr_is_zero(self):
+        assert FlowRecorder().aggregate_pdr() == 0.0
+
+    def test_flows_listing(self):
+        r = FlowRecorder()
+        r.sent(1, 2, 0, 0.0, 24)
+        r.sent(1, 3, 0, 0.0, 24)
+        assert [(f.src, f.dst) for f in r.flows()] == [(1, 2), (1, 3)]
+
+    def test_all_latencies_flattened(self):
+        r = FlowRecorder()
+        r.sent(1, 2, 0, 0.0, 24)
+        r.sent(3, 2, 0, 5.0, 24)
+        r.delivered(2, delivery(1, 0, 0.0, 1.0))
+        r.delivered(2, delivery(3, 0, 5.0, 7.0))
+        assert sorted(r.all_latencies()) == [1.0, 2.0]
+
+
+class TestAttachRecorder:
+    def test_hook_preserves_existing_callback(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST)
+        net.run_until_converged(timeout_s=600.0)
+        a, b = net.nodes
+        seen = []
+        b.on_message = seen.append
+        recorder = FlowRecorder()
+        attach_recorder(recorder, b)
+        recorder.sent(a.address, b.address, 0, net.sim.now, 24)
+        a.send_datagram(b.address, make_probe(a.address, 0, net.sim.now))
+        net.run(for_s=30.0)
+        assert len(seen) == 1  # original callback still fires
+        assert recorder.total_delivered() == 1
+
+
+class TestOverheadSummary:
+    def test_summary_over_live_network(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST)
+        net.run(for_s=300.0)
+        summary = overhead_summary(net.nodes, now=net.sim.now)
+        assert summary.frames_sent == net.total_frames_sent()
+        assert summary.airtime_s == pytest.approx(net.total_airtime_s())
+        assert 0 <= summary.duty_cycle_peak <= 1
+
+    def test_airtime_per_delivered_byte_inf_when_nothing_delivered(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST)
+        net.run(for_s=300.0)
+        summary = overhead_summary(net.nodes, FlowRecorder(), now=net.sim.now)
+        assert summary.airtime_per_delivered_byte_ms == float("inf")

@@ -1,0 +1,50 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.metrics.energy import EnergyModel, TTGO_LORA32, TTGO_LORA32_20DBM
+from repro.radio.states import RadioState
+
+
+class TestEnergyModel:
+    def test_charge_known_value(self):
+        # 1 hour of continuous RX at 11.5 mA = 11.5 mAh.
+        times = {RadioState.RX: 3600.0}
+        assert TTGO_LORA32.charge_mah(times) == pytest.approx(11.5)
+
+    def test_energy_joules(self):
+        # 10 s TX at 44 mA, 3.3 V -> 3.3 * 0.044 * 10 = 1.452 J
+        times = {RadioState.TX: 10.0}
+        assert TTGO_LORA32.energy_j(times) == pytest.approx(1.452)
+
+    def test_tx_dominates_sleep(self):
+        tx = TTGO_LORA32.energy_j({RadioState.TX: 1.0})
+        sleep = TTGO_LORA32.energy_j({RadioState.SLEEP: 1.0})
+        assert tx > 10_000 * sleep
+
+    def test_battery_life_projection(self):
+        # Continuous RX from a 1000 mAh battery: 1000/11.5 h = ~3.6 days.
+        times = {RadioState.RX: 3600.0}
+        days = TTGO_LORA32.battery_life_days(times, elapsed_s=3600.0, battery_mah=1000.0)
+        assert days == pytest.approx(1000.0 / 11.5 / 24.0, rel=1e-6)
+
+    def test_battery_life_infinite_when_idle(self):
+        days = TTGO_LORA32.battery_life_days({}, elapsed_s=100.0, battery_mah=1000.0)
+        assert days == float("inf")
+
+    def test_battery_life_needs_elapsed(self):
+        with pytest.raises(ValueError):
+            TTGO_LORA32.battery_life_days({RadioState.RX: 1.0}, elapsed_s=0.0, battery_mah=1.0)
+
+    def test_20dbm_profile_draws_more_tx(self):
+        assert TTGO_LORA32_20DBM.tx_ma > TTGO_LORA32.tx_ma
+
+    def test_radio_energy_integration(self, sim, medium, params, radio_pair):
+        a, _ = radio_pair
+        a.transmit(bytes(50))
+        sim.run(until=100.0)
+        energy = TTGO_LORA32.radio_energy_j(a)
+        assert energy > 0
+        # RX residency dominates a mostly-idle radio's energy.
+        rx_energy = TTGO_LORA32.energy_j({RadioState.RX: 100.0})
+        assert energy == pytest.approx(rx_energy, rel=0.05)

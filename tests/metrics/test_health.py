@@ -1,0 +1,59 @@
+"""Tests for network health reports."""
+
+import pytest
+
+from repro.metrics.health import network_health
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.topology.placement import line_positions
+
+FAST = MesherConfig(hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0)
+
+
+@pytest.fixture
+def running_net():
+    net = MeshNetwork.from_positions(line_positions(3), config=FAST, seed=2)
+    net.run_until_converged(timeout_s=1800.0)
+    a, c = net.nodes[0], net.nodes[-1]
+    a.send_datagram(c.address, b"traffic")
+    net.run(for_s=60.0)
+    return net
+
+
+class TestNetworkHealth:
+    def test_snapshot_fields(self, running_net):
+        health = network_health(running_net)
+        assert health.coverage == 1.0
+        assert health.time_s == running_net.sim.now
+        assert len(health.nodes) == 3
+        assert health.total_frames == running_net.total_frames_sent()
+
+    def test_per_node_counters_consistent(self, running_net):
+        health = network_health(running_net)
+        by_name = {n.name: n for n in health.nodes}
+        middle = by_name["0002"]
+        assert middle.forwarded == 1
+        assert middle.routes == 2
+        assert middle.neighbours == 2
+        end = by_name["0003"]
+        assert end.delivered == 1
+
+    def test_energy_positive_and_ordered(self, running_net):
+        health = network_health(running_net)
+        assert all(n.energy_j > 0 for n in health.nodes)
+
+    def test_worst_duty_is_max(self, running_net):
+        health = network_health(running_net)
+        assert health.worst_duty == max(n.duty_utilisation for n in health.nodes)
+
+    def test_format_renders(self, running_net):
+        text = network_health(running_net).format()
+        assert "Network health" in text
+        assert "coverage 100.0%" in text
+        assert text.count("000") >= 3
+
+    def test_empty_network(self):
+        net = MeshNetwork.from_positions([(0.0, 0.0)], config=FAST)
+        health = network_health(net)
+        assert health.worst_duty == 0.0
+        assert len(health.nodes) == 1

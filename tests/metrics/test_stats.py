@@ -1,0 +1,88 @@
+"""Tests for statistics helpers."""
+
+import pytest
+
+from repro.metrics.stats import (
+    confidence_interval_95,
+    mean,
+    percentile,
+    stdev,
+    summary_stats,
+)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestStdev:
+    def test_known_value(self):
+        assert stdev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(2.138, abs=1e-3)
+
+    def test_single_value_zero(self):
+        assert stdev([5.0]) == 0.0
+
+    def test_constant_sample_zero(self):
+        assert stdev([3.0, 3.0, 3.0]) == 0.0
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_p95(self):
+        values = list(map(float, range(1, 101)))
+        assert percentile(values, 95) == pytest.approx(95.05)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+
+class TestSummary:
+    def test_fields(self):
+        s = summary_stats([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.p50 == 2.5
+
+    def test_format(self):
+        text = summary_stats([1.0, 2.0]).format(unit="s")
+        assert "n=2" in text
+        assert "mean=1.500 s" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summary_stats([])
+
+
+class TestConfidenceInterval:
+    def test_zero_for_small_samples(self):
+        assert confidence_interval_95([1.0]) == 0.0
+
+    def test_shrinks_with_sample_size(self):
+        wide = confidence_interval_95([1.0, 5.0, 3.0])
+        narrow = confidence_interval_95([1.0, 5.0, 3.0] * 10)
+        assert narrow < wide

@@ -1,0 +1,63 @@
+"""Tests for 16-bit addressing."""
+
+import pytest
+
+from repro.net.addresses import (
+    BROADCAST_ADDRESS,
+    NULL_ADDRESS,
+    address_from_mac,
+    format_address,
+    is_unicast,
+    validate_address,
+)
+
+
+class TestDerivation:
+    def test_low_two_bytes_used(self):
+        assert address_from_mac(0xAABBCCDDEEFF) == 0xEEFF
+
+    def test_broadcast_collision_perturbed(self):
+        derived = address_from_mac(0x00FFFF)
+        assert derived != BROADCAST_ADDRESS
+        assert derived != NULL_ADDRESS
+
+    def test_null_collision_perturbed(self):
+        derived = address_from_mac(0x110000)
+        assert derived != NULL_ADDRESS
+
+    def test_negative_mac_rejected(self):
+        with pytest.raises(ValueError):
+            address_from_mac(-1)
+
+
+class TestValidation:
+    def test_unicast_accepted(self):
+        assert validate_address(0x1234) == 0x1234
+
+    def test_null_rejected(self):
+        with pytest.raises(ValueError):
+            validate_address(0x0000)
+
+    def test_broadcast_rejected_by_default(self):
+        with pytest.raises(ValueError):
+            validate_address(BROADCAST_ADDRESS)
+
+    def test_broadcast_allowed_when_requested(self):
+        assert validate_address(BROADCAST_ADDRESS, allow_broadcast=True) == BROADCAST_ADDRESS
+
+    def test_over_16bit_rejected(self):
+        with pytest.raises(ValueError):
+            validate_address(0x10000)
+
+    def test_is_unicast(self):
+        assert is_unicast(0x0001)
+        assert not is_unicast(NULL_ADDRESS)
+        assert not is_unicast(BROADCAST_ADDRESS)
+
+
+class TestFormatting:
+    def test_hex_rendering(self):
+        assert format_address(0x00AB) == "00AB"
+
+    def test_broadcast_rendering(self):
+        assert format_address(BROADCAST_ADDRESS) == "BCAST"

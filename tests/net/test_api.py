@@ -1,0 +1,148 @@
+"""Tests for the MeshNetwork builder and public API surface."""
+
+import pytest
+
+from repro import MeshNetwork, MesherConfig
+from repro.net.config import MesherConfig as DirectConfig
+from repro.phy.pathloss import FreeSpacePathLoss
+from repro.topology.placement import line_positions
+
+FAST = MesherConfig(hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0)
+
+
+class TestConstruction:
+    def test_from_positions_assigns_sequential_addresses(self):
+        net = MeshNetwork.from_positions(line_positions(3))
+        assert net.addresses == [1, 2, 3]
+
+    def test_custom_addresses(self):
+        net = MeshNetwork.from_positions(line_positions(2), addresses=[0x00AA, 0x00BB])
+        assert net.addresses == [0x00AA, 0x00BB]
+
+    def test_address_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MeshNetwork.from_positions(line_positions(2), addresses=[1])
+
+    def test_duplicate_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            MeshNetwork.from_positions(line_positions(2), addresses=[5, 5])
+
+    def test_empty_positions_rejected(self):
+        with pytest.raises(ValueError):
+            MeshNetwork.from_positions([])
+
+    def test_custom_pathloss_model(self):
+        # Free-space loss at 120 m is tiny: everything is in range, so a
+        # 10-node line converges to all metric-1 routes.
+        net = MeshNetwork.from_positions(
+            line_positions(5), config=FAST, pathloss=FreeSpacePathLoss()
+        )
+        net.run_until_converged(timeout_s=600.0)
+        first = net.nodes[0]
+        assert first.table.metric(net.addresses[-1]) == 1
+
+    def test_autostart_false_defers_protocol(self):
+        net = MeshNetwork.from_positions(line_positions(2), autostart=False)
+        assert not net.nodes[0].started
+        net.run(for_s=300.0)
+        assert net.nodes[0].hello.hellos_sent == 0
+        net.start()
+        net.run(for_s=300.0)
+        assert net.nodes[0].hello.hellos_sent > 0
+
+    def test_add_node_late_joiner(self):
+        net = MeshNetwork.from_positions([(0.0, 0.0), (80.0, 0.0)], config=FAST)
+        net.run_until_converged(timeout_s=600.0)
+        late = net.add_node(0x0099, (40.0, 40.0), config=FAST)
+        late.start()
+        net.run(for_s=120.0)
+        assert net.nodes[0].table.has_route(0x0099)
+
+    def test_len_and_iter(self):
+        net = MeshNetwork.from_positions(line_positions(3))
+        assert len(net) == 3
+        assert [n.address for n in net] == [1, 2, 3]
+
+    def test_node_lookup_unknown_raises(self):
+        net = MeshNetwork.from_positions(line_positions(2))
+        with pytest.raises(KeyError):
+            net.node(0x0FFF)
+
+
+class TestRunning:
+    def test_run_requires_exactly_one_horizon(self):
+        net = MeshNetwork.from_positions(line_positions(2))
+        with pytest.raises(ValueError):
+            net.run()
+        with pytest.raises(ValueError):
+            net.run(until=1.0, for_s=1.0)
+
+    def test_run_for_advances_relative(self):
+        net = MeshNetwork.from_positions(line_positions(2))
+        net.run(for_s=10.0)
+        net.run(for_s=10.0)
+        assert net.sim.now == 20.0
+
+    def test_converged_empty_and_single(self):
+        assert MeshNetwork.from_positions([(0.0, 0.0)]).converged()
+
+    def test_run_until_converged_returns_time(self):
+        net = MeshNetwork.from_positions(line_positions(3), config=FAST, seed=5)
+        t = net.run_until_converged(timeout_s=1200.0)
+        assert t is not None
+        assert 0 < t <= 1200.0
+        assert net.converged()
+
+    def test_run_until_converged_timeout_returns_none(self):
+        # Two nodes far out of radio range can never converge.
+        net = MeshNetwork.from_positions([(0.0, 0.0), (5000.0, 0.0)], config=FAST)
+        assert net.run_until_converged(timeout_s=120.0) is None
+
+    def test_endpoint_convergence_mode(self):
+        net = MeshNetwork.from_positions(line_positions(3), config=FAST, seed=5)
+        t = net.run_until_converged(timeout_s=1200.0, require_all=False)
+        assert t is not None
+        first, last = net.nodes[0], net.nodes[-1]
+        assert first.table.has_route(last.address)
+
+
+class TestInspection:
+    def test_coverage_grows_to_one(self):
+        net = MeshNetwork.from_positions(line_positions(3), config=FAST, seed=5)
+        assert net.coverage() < 1.0
+        net.run_until_converged(timeout_s=1200.0)
+        assert net.coverage() == 1.0
+
+    def test_totals_accumulate(self):
+        net = MeshNetwork.from_positions(line_positions(2), config=FAST)
+        net.run(for_s=300.0)
+        assert net.total_frames_sent() > 0
+        assert net.total_bytes_sent() > 0
+        assert net.total_airtime_s() > 0
+
+    def test_describe_lists_every_node(self):
+        net = MeshNetwork.from_positions(line_positions(3), config=FAST)
+        text = net.describe()
+        assert text.count("Routing table of") == 3
+
+    def test_determinism_same_seed_same_outcome(self):
+        def run_once():
+            net = MeshNetwork.from_positions(line_positions(4), config=FAST, seed=77)
+            net.run(for_s=900.0)
+            return (
+                net.total_frames_sent(),
+                net.total_bytes_sent(),
+                [tuple((e.address, e.via, e.metric) for e in n.table) for n in net.nodes],
+            )
+
+        assert run_once() == run_once()
+
+    def test_different_seeds_differ(self):
+        def frames(seed):
+            net = MeshNetwork.from_positions(line_positions(4), config=FAST, seed=seed)
+            net.run(for_s=900.0)
+            return [n.hello.hellos_sent for n in net.nodes], net.total_bytes_sent()
+
+        # Frame *timing* differs; counts may coincide, so compare bytes too
+        # over a window where the jittered first hellos land differently.
+        assert frames(1) != frames(2)

@@ -1,0 +1,67 @@
+"""Tests for protocol configuration validation."""
+
+import pytest
+
+from repro.net.config import MesherConfig
+from repro.phy.regions import US915
+
+
+class TestDefaults:
+    def test_firmware_defaults(self):
+        c = MesherConfig()
+        assert c.hello_period_s == 120.0
+        assert c.route_timeout_s == 600.0
+        assert c.max_metric == 16
+        assert c.region.name == "EU868"
+
+    def test_replace_returns_copy(self):
+        base = MesherConfig()
+        changed = base.replace(hello_period_s=60.0)
+        assert changed.hello_period_s == 60.0
+        assert base.hello_period_s == 120.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            MesherConfig().hello_period_s = 1.0  # type: ignore[misc]
+
+
+class TestValidation:
+    def test_hello_period_positive(self):
+        with pytest.raises(ValueError):
+            MesherConfig(hello_period_s=0.0)
+
+    def test_route_timeout_must_exceed_hello_period(self):
+        with pytest.raises(ValueError):
+            MesherConfig(hello_period_s=120.0, route_timeout_s=100.0)
+
+    def test_jitter_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            MesherConfig(hello_jitter_fraction=1.0)
+        with pytest.raises(ValueError):
+            MesherConfig(hello_jitter_fraction=-0.1)
+
+    def test_fragment_size_wire_limit(self):
+        MesherConfig(fragment_size=244)
+        with pytest.raises(ValueError):
+            MesherConfig(fragment_size=245)
+        with pytest.raises(ValueError):
+            MesherConfig(fragment_size=0)
+
+    def test_max_metric_bounds(self):
+        with pytest.raises(ValueError):
+            MesherConfig(max_metric=0)
+        with pytest.raises(ValueError):
+            MesherConfig(max_metric=256)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError):
+            MesherConfig(backoff_slots=-1)
+
+    def test_timeouts_positive(self):
+        with pytest.raises(ValueError):
+            MesherConfig(ack_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            MesherConfig(gap_timeout_s=-1.0)
+
+    def test_region_swappable(self):
+        assert MesherConfig(region=US915).region.name == "US915"

@@ -1,0 +1,116 @@
+"""Tests for gateway-role dissemination and the GatewayClient."""
+
+import pytest
+
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.net.gateway import (
+    GatewayClient,
+    is_gateway,
+    known_gateways,
+    nearest_gateway,
+)
+from repro.net.packets import NodeRole
+from repro.topology.placement import line_positions
+
+FAST = MesherConfig(hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0)
+GW = FAST.replace(role=int(NodeRole.GATEWAY))
+
+
+def line_with_gateway(n: int, gateway_index: int, *, seed: int = 3) -> MeshNetwork:
+    """A line where exactly one node advertises the gateway role."""
+    configs = [GW if i == gateway_index else None for i in range(n)]
+    return MeshNetwork.from_positions(
+        line_positions(n), config=FAST, configs=configs, seed=seed
+    )
+
+
+class TestRoleDissemination:
+    def test_gateway_flag_reaches_distant_nodes(self):
+        net = line_with_gateway(4, gateway_index=3)
+        net.run_until_converged(timeout_s=1800.0)
+        first = net.nodes[0]
+        gws = known_gateways(first)
+        assert [g.address for g in gws] == [net.addresses[3]]
+        assert gws[0].metric == 3
+
+    def test_is_gateway(self):
+        net = line_with_gateway(2, gateway_index=1)
+        assert not is_gateway(net.nodes[0])
+        assert is_gateway(net.nodes[1])
+
+    def test_no_gateway_known_initially(self):
+        net = line_with_gateway(3, gateway_index=2)
+        assert nearest_gateway(net.nodes[0]) is None
+
+
+class TestNearestSelection:
+    def test_nearest_of_two_gateways_wins(self):
+        configs = [GW, None, None, None, GW]  # gateways at both ends
+        net = MeshNetwork.from_positions(
+            line_positions(5), config=FAST, configs=configs, seed=4
+        )
+        net.run_until_converged(timeout_s=3600.0)
+        second = net.nodes[1]  # 1 hop from gw A, 3 hops from gw B
+        target = nearest_gateway(second)
+        assert target.address == net.addresses[0]
+        assert target.metric == 1
+
+    def test_tie_breaks_to_lower_address(self):
+        net = MeshNetwork.from_positions(
+            line_positions(3), config=FAST, configs=[GW, None, GW], seed=5
+        )
+        net.run_until_converged(timeout_s=1800.0)
+        middle = net.nodes[1]  # equidistant
+        assert nearest_gateway(middle).address == min(net.addresses[0], net.addresses[2])
+
+
+class TestGatewayClient:
+    def test_send_routes_to_gateway(self):
+        net = line_with_gateway(3, gateway_index=2)
+        net.run_until_converged(timeout_s=1800.0)
+        client = GatewayClient(net.nodes[0])
+        assert client.send(b"uplink")
+        net.run(for_s=60.0)
+        gw = net.nodes[2]
+        assert gw.receive().payload == b"uplink"
+        assert client.sends == 1
+
+    def test_send_without_gateway_drops(self):
+        net = MeshNetwork.from_positions(line_positions(2), config=FAST, seed=6)
+        net.run_until_converged(timeout_s=600.0)
+        client = GatewayClient(net.nodes[0])
+        assert not client.send(b"nowhere")
+        assert client.no_gateway_drops == 1
+
+    def test_reliable_uplink(self):
+        net = line_with_gateway(3, gateway_index=2)
+        net.run_until_converged(timeout_s=1800.0)
+        client = GatewayClient(net.nodes[0])
+        outcome = []
+        seq = client.send_reliable(bytes(500), lambda ok, why: outcome.append(ok))
+        assert seq is not None
+        net.run(for_s=300.0)
+        assert outcome == [True]
+        message = net.nodes[2].receive()
+        assert message.reliable and len(message.payload) == 500
+
+    def test_reliable_without_gateway_fails_fast(self):
+        net = MeshNetwork.from_positions(line_positions(2), config=FAST, seed=7)
+        client = GatewayClient(net.nodes[0])
+        outcome = []
+        assert client.send_reliable(b"x", lambda ok, why: outcome.append((ok, why))) is None
+        assert outcome == [(False, "no gateway known")]
+
+    def test_target_follows_gateway_failure(self):
+        net = MeshNetwork.from_positions(
+            line_positions(4), config=FAST, configs=[GW, None, None, GW], seed=8
+        )
+        net.run_until_converged(timeout_s=3600.0)
+        second = net.nodes[1]
+        client = GatewayClient(second)
+        assert client.current_target().address == net.addresses[0]
+        net.nodes[0].fail()
+        net.run(for_s=FAST.route_timeout_s + 90.0)
+        # The near gateway's route expired: the client re-targets the far one.
+        assert client.current_target().address == net.addresses[3]

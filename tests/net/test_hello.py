@@ -1,0 +1,116 @@
+"""Tests for the hello (routing dissemination) service."""
+
+import random
+
+import pytest
+
+from repro.net.config import MesherConfig
+from repro.net.hello import HelloService
+from repro.net.packets import MAX_ROUTING_ENTRIES, RoutingEntry, RoutingPacket
+from repro.net.routing_table import RoutingTable
+
+ME = 0x0001
+
+
+@pytest.fixture
+def setup(sim):
+    table = RoutingTable(ME)
+    sent = []
+    config = MesherConfig(hello_period_s=100.0, hello_jitter_fraction=0.0)
+    service = HelloService(
+        sim, ME, table, config, enqueue=lambda p: sent.append(p) or True, rng=random.Random(1)
+    )
+    return table, sent, service, config
+
+
+class TestScheduling:
+    def test_first_hello_within_one_period(self, sim, setup):
+        _, sent, service, config = setup
+        service.start()
+        sim.run(until=config.hello_period_s)
+        assert len(sent) >= 1
+
+    def test_steady_state_rate(self, sim, setup):
+        _, sent, service, config = setup
+        service.start()
+        sim.run(until=1000.0)
+        # ~10 periods: the first fires early, so 10 +/- 1.
+        assert 9 <= len(sent) <= 11
+
+    def test_stop_halts_hellos(self, sim, setup):
+        _, sent, service, _ = setup
+        service.start()
+        sim.run(until=150.0)
+        count = len(sent)
+        service.stop()
+        sim.run(until=2000.0)
+        assert len(sent) == count
+        assert not service.running
+
+    def test_start_is_idempotent(self, sim, setup):
+        _, sent, service, _ = setup
+        service.start()
+        service.start()
+        sim.run(until=105.0)
+        assert len(sent) <= 2  # not doubled
+
+    def test_jitter_desynchronises(self, sim):
+        # With jitter the inter-hello gaps vary.
+        table = RoutingTable(ME)
+        times = []
+        config = MesherConfig(hello_period_s=100.0, hello_jitter_fraction=0.25)
+        service = HelloService(
+            sim, ME, table, config,
+            enqueue=lambda p: times.append(sim.now) or True,
+            rng=random.Random(3),
+        )
+        service.start()
+        sim.run(until=2000.0)
+        gaps = {round(b - a, 3) for a, b in zip(times, times[1:])}
+        assert len(gaps) > 1
+
+
+class TestPacketContents:
+    def test_empty_table_still_advertises_self(self, sim, setup):
+        table, sent, service, _ = setup
+        service.send_hello()
+        assert len(sent) == 1
+        assert sent[0].entries[0].address == ME
+        assert sent[0].entries[0].metric == 0
+
+    def test_hello_carries_table_rows(self, sim, setup):
+        table, sent, service, _ = setup
+        table.heard_from(0x0002, now=0.0)
+        service.send_hello()
+        advertised = {e.address: e.metric for e in sent[0].entries}
+        assert advertised == {ME: 0, 0x0002: 1}
+
+    def test_large_table_split_across_packets(self, sim, setup):
+        _, _, service, _ = setup
+        entries = [RoutingEntry(address=i + 2, metric=1) for i in range(MAX_ROUTING_ENTRIES + 10)]
+        packets = service.build_packets(entries)
+        assert len(packets) == 2
+        assert len(packets[0].entries) == MAX_ROUTING_ENTRIES
+        assert sum(len(p.entries) for p in packets) == len(entries)
+
+    def test_counters(self, sim, setup):
+        table, _, service, _ = setup
+        table.heard_from(0x0002, now=0.0)
+        service.send_hello()
+        assert service.hellos_sent == 1
+        assert service.hello_entries_sent == 2
+
+
+class TestPurge:
+    def test_purge_timer_expires_routes(self, sim):
+        table = RoutingTable(ME, route_timeout=150.0)
+        config = MesherConfig(
+            hello_period_s=100.0, route_timeout_s=150.0, purge_period_s=50.0
+        )
+        service = HelloService(
+            sim, ME, table, config, enqueue=lambda p: True, rng=random.Random(1)
+        )
+        table.heard_from(0x0002, now=0.0)
+        service.start()
+        sim.run(until=250.0)
+        assert not table.has_route(0x0002)

@@ -1,0 +1,127 @@
+"""Edge-case tests for the node service (lifecycle corners, queue
+interactions, half-duplex consequences)."""
+
+import pytest
+
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.net.packets import DataPacket
+from repro.radio.states import RadioState
+from repro.topology.placement import line_positions
+
+FAST = MesherConfig(hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0)
+
+
+class TestLifecycleCorners:
+    def test_stopped_node_ignores_frames(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST, seed=1)
+        net.run_until_converged(timeout_s=600.0)
+        a, b = net.nodes
+        b.stop()
+        # b's radio sleeps: nothing is demodulated, nothing delivered.
+        a.send_datagram(b.address, b"into the void")
+        net.run(for_s=60.0)
+        assert b.receive() is None
+        assert b.stats.data_delivered == 0
+
+    def test_restart_after_stop(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST, seed=2)
+        net.run_until_converged(timeout_s=600.0)
+        a, b = net.nodes
+        b.stop()
+        net.run(for_s=60.0)
+        b.start()
+        net.run(for_s=120.0)
+        a.send_datagram(b.address, b"welcome back")
+        net.run(for_s=60.0)
+        assert b.receive() is not None
+
+    def test_fail_while_transmitting_completes_frame(self):
+        # A node killed mid-TX still finishes emitting the frame (power
+        # cut semantics modelled as end-of-frame detach).
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST, seed=3)
+        net.run_until_converged(timeout_s=600.0)
+        a, b = net.nodes
+        a.send_datagram(b.address, bytes(150))
+        # Advance until the frame is on the air, then kill the sender.
+        while not a.radio.transmitting:
+            net.sim.step()
+        a.fail()
+        net.run(for_s=30.0)
+        assert not a.radio.powered
+        assert b.receive() is not None  # the in-flight frame landed
+
+    def test_stop_is_idempotent_and_stats_survive(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST, seed=4)
+        net.run(for_s=300.0)
+        node = net.nodes[0]
+        sent = node.stats.frames_sent
+        node.stop()
+        node.stop()
+        assert node.stats.frames_sent == sent
+
+
+class TestQueueInteractions:
+    def test_pump_survives_queue_drain_while_waiting(self):
+        # Enqueue, then drain the queue behind the pump's back: the pump
+        # must cope with peek() returning None.
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST, seed=5)
+        net.run_until_converged(timeout_s=600.0)
+        a, b = net.nodes
+        a.send_datagram(b.address, b"x")
+        a.send_queue.drain()
+        net.run(for_s=60.0)  # must not raise
+        assert b.receive() is None
+
+    def test_enqueue_on_dead_node_is_safe(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST, seed=6)
+        net.run_until_converged(timeout_s=600.0)
+        a, b = net.nodes
+        a.fail()
+        # The queue accepts but the pump never transmits on a dead radio.
+        a.enqueue(DataPacket(dst=b.address, src=a.address, via=b.address, payload=b"x"))
+        net.run(for_s=120.0)
+        assert b.receive() is None
+
+    def test_inbox_overflow_drops_new_messages(self):
+        config = FAST.replace(app_inbox_capacity=3)
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=config, seed=7)
+        net.run_until_converged(timeout_s=600.0)
+        a, b = net.nodes
+        for i in range(6):
+            a.send_datagram(b.address, bytes([i]))
+            net.run(for_s=30.0)
+        # Only the first three landed in the bounded inbox.
+        received = []
+        while (m := b.receive()) is not None:
+            received.append(m.payload)
+        assert len(received) == 3
+        assert b.inbox.dropped == 3
+
+
+class TestHalfDuplexConsequences:
+    def test_node_misses_frames_while_transmitting(self):
+        # Two neighbours transmit long frames at overlapping times: each
+        # is deaf during its own TX.
+        config = FAST.replace(backoff_slots=0)
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=config, seed=8)
+        net.run_until_converged(timeout_s=600.0)
+        a, b = net.nodes
+        a.send_datagram(b.address, bytes(200))
+        # b starts its own TX a moment into a's frame.
+        while not a.radio.transmitting:
+            net.sim.step()
+        b.send_datagram(a.address, bytes(200))
+        net.run(for_s=0.02)
+        # The CAD should have deferred b (it can hear a): b not in TX yet.
+        assert b.radio.state is not RadioState.TX or a.radio.transmitting
+
+    def test_hello_keeps_mesh_alive_under_continuous_traffic(self):
+        net = MeshNetwork.from_positions(line_positions(3), config=FAST, seed=9)
+        net.run_until_converged(timeout_s=1200.0)
+        a, _, c = net.nodes
+        for _ in range(50):
+            a.send_datagram(c.address, bytes(50))
+            net.run(for_s=30.0)
+        # Routes never expired despite the load.
+        assert net.coverage() == 1.0

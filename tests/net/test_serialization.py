@@ -1,0 +1,141 @@
+"""Tests for byte-exact packet encoding/decoding."""
+
+import struct
+
+import pytest
+
+from repro.net import packets as pk
+from repro.net.packets import (
+    AckPacket,
+    DataPacket,
+    LostPacket,
+    NeedAckPacket,
+    PacketType,
+    RoutingEntry,
+    RoutingPacket,
+    SyncPacket,
+    XLDataPacket,
+)
+from repro.net.serialization import DecodeError, decode, encode, encoded_size
+
+
+SAMPLE_PACKETS = [
+    RoutingPacket(src=0x0A0B, entries=()),
+    RoutingPacket(
+        src=0x0A0B,
+        entries=(RoutingEntry(address=0x0001, metric=0), RoutingEntry(address=0x0002, metric=3, role=1)),
+    ),
+    DataPacket(dst=0x0001, src=0x0002, via=0x0003, payload=b"hello"),
+    DataPacket(dst=0xFFFF, src=0x0002, via=0xFFFF, payload=b""),
+    NeedAckPacket(dst=1, src=2, via=3, seq_id=7, number=0, payload=b"reliable"),
+    AckPacket(dst=1, src=2, via=3, seq_id=7, number=12),
+    LostPacket(dst=1, src=2, via=3, seq_id=7, number=4),
+    SyncPacket(dst=1, src=2, via=3, seq_id=9, number=40, total_bytes=7000),
+    XLDataPacket(dst=1, src=2, via=3, seq_id=9, number=5, payload=bytes(range(100))),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("packet", SAMPLE_PACKETS, ids=lambda p: type(p).__name__)
+    def test_encode_decode_roundtrip(self, packet):
+        assert decode(encode(packet)) == packet
+
+    @pytest.mark.parametrize("packet", SAMPLE_PACKETS, ids=lambda p: type(p).__name__)
+    def test_encoded_size_matches(self, packet):
+        assert len(encode(packet)) == encoded_size(packet)
+
+    def test_all_frames_fit_phy_limit(self):
+        big = XLDataPacket(dst=1, src=2, via=3, seq_id=0, number=0, payload=bytes(pk.MAX_CONTROL_PAYLOAD))
+        assert len(encode(big)) <= pk.MAX_PHY_PAYLOAD
+
+
+class TestWireLayout:
+    def test_header_layout_little_endian(self):
+        frame = encode(DataPacket(dst=0x0102, src=0x0304, via=0x0506, payload=b"AB"))
+        dst, src, ptype, length = struct.unpack_from("<HHBB", frame)
+        assert dst == 0x0102
+        assert src == 0x0304
+        assert ptype == int(PacketType.DATA)
+        assert length == 4  # via(2) + payload(2)
+        (via,) = struct.unpack_from("<H", frame, 6)
+        assert via == 0x0506
+        assert frame[8:] == b"AB"
+
+    def test_routing_entry_is_four_bytes(self):
+        one = encode(RoutingPacket(src=1, entries=(RoutingEntry(address=2, metric=1),)))
+        two = encode(
+            RoutingPacket(
+                src=1,
+                entries=(RoutingEntry(address=2, metric=1), RoutingEntry(address=3, metric=2)),
+            )
+        )
+        assert len(two) - len(one) == 4
+
+    def test_header_is_six_bytes(self):
+        assert len(encode(RoutingPacket(src=1, entries=()))) == 6
+
+    def test_ack_frame_is_eleven_bytes(self):
+        # header(6) + via(2) + seq(1) + number(2)
+        assert len(encode(AckPacket(dst=1, src=2, via=3, seq_id=0, number=0))) == 11
+
+
+class TestDecodeErrors:
+    def test_truncated_header(self):
+        with pytest.raises(DecodeError):
+            decode(b"\x01\x02\x03")
+
+    def test_length_field_mismatch(self):
+        frame = bytearray(encode(DataPacket(dst=1, src=2, via=3, payload=b"xy")))
+        frame[5] += 1  # corrupt the length field
+        with pytest.raises(DecodeError):
+            decode(bytes(frame))
+
+    def test_unknown_type(self):
+        frame = bytearray(encode(AckPacket(dst=1, src=2, via=3, seq_id=0, number=0)))
+        frame[4] = 0x7F
+        with pytest.raises(DecodeError):
+            decode(bytes(frame))
+
+    def test_routing_body_not_multiple_of_entry_size(self):
+        frame = struct.pack("<HHBB", 0xFFFF, 1, int(PacketType.ROUTING), 3) + b"\x01\x02\x03"
+        with pytest.raises(DecodeError):
+            decode(frame)
+
+    def test_ack_with_trailing_garbage(self):
+        frame = struct.pack("<HHBB", 1, 2, int(PacketType.ACK), 7) + struct.pack("<HBH", 3, 0, 0) + b"!"
+        with pytest.raises(DecodeError):
+            decode(frame)
+
+    def test_sync_with_short_tail(self):
+        frame = struct.pack("<HHBB", 1, 2, int(PacketType.SYNC), 7) + struct.pack("<HBH", 3, 0, 1) + b"\x00\x00"
+        with pytest.raises(DecodeError):
+            decode(frame)
+
+    def test_data_shorter_than_via(self):
+        frame = struct.pack("<HHBB", 1, 2, int(PacketType.DATA), 1) + b"\x00"
+        with pytest.raises(DecodeError):
+            decode(frame)
+
+    def test_empty_buffer(self):
+        with pytest.raises(DecodeError):
+            decode(b"")
+
+    def test_hostile_routing_entry_rejected(self):
+        # A routing entry advertising address 0 fails dataclass validation,
+        # surfaced as a DecodeError rather than ValueError.
+        frame = struct.pack("<HHBB", 0xFFFF, 1, int(PacketType.ROUTING), 4) + struct.pack(
+            "<HBB", 0, 1, 0
+        )
+        with pytest.raises(DecodeError):
+            decode(frame)
+
+    def test_decode_never_raises_bare_valueerror(self):
+        # Fuzz a few corrupted buffers: only DecodeError may escape.
+        base = bytearray(encode(SyncPacket(dst=1, src=2, via=3, seq_id=1, number=2, total_bytes=10)))
+        for i in range(len(base)):
+            corrupted = bytearray(base)
+            corrupted[i] ^= 0xFF
+            try:
+                decode(bytes(corrupted))
+            except DecodeError:
+                pass

@@ -1,0 +1,130 @@
+"""Tests for the Semtech time-on-air formula.
+
+Reference values cross-checked against the Semtech SX1272 LoRa calculator
+/ AN1200.22 worked examples.
+"""
+
+import pytest
+
+from repro.phy.airtime import (
+    effective_bitrate,
+    max_payload_for_airtime,
+    payload_duration,
+    payload_symbols,
+    preamble_duration,
+    symbol_duration,
+    time_on_air,
+)
+from repro.phy.modulation import Bandwidth, CodingRate, LoRaParams, SpreadingFactor
+
+
+class TestSymbolAndPreamble:
+    def test_symbol_duration_sf7(self, params):
+        assert symbol_duration(params) == pytest.approx(1.024e-3)
+
+    def test_preamble_duration_default(self, params):
+        # (8 + 4.25) symbols * 1.024 ms = 12.544 ms
+        assert preamble_duration(params) == pytest.approx(12.544e-3)
+
+    def test_longer_preamble_costs_more(self, params):
+        longer = params.replace(preamble_symbols=12)
+        assert preamble_duration(longer) > preamble_duration(params)
+
+
+class TestPayloadSymbols:
+    def test_empty_payload_is_base_eight_symbols(self, params):
+        # 8B - 4SF + 28 + 16 = -28+44 = 16... numerator = 0-28+28+16-0 = 16
+        # ceil(16/20)*5 = 5 -> 13 total
+        assert payload_symbols(0, params) == 13
+
+    def test_known_value_10_bytes_sf7(self, params):
+        # numerator = 80 - 28 + 28 + 16 - 0 = 96; denom = 4*7 = 28
+        # ceil(96/28) = 4; 4*5 = 20; +8 base = 28
+        assert payload_symbols(10, params) == 28
+
+    def test_known_value_20_bytes_sf12_ldro(self):
+        p = LoRaParams(spreading_factor=SpreadingFactor.SF12)
+        # numerator = 160 - 48 + 28 + 16 = 156; denom = 4*(12-2)=40
+        # ceil(156/40)=4; 4*5=20; +8=28
+        assert payload_symbols(20, p) == 28
+
+    def test_negative_payload_rejected(self, params):
+        with pytest.raises(ValueError):
+            payload_symbols(-1, params)
+
+    def test_crc_adds_symbols(self, params):
+        with_crc = payload_symbols(10, params)
+        without = payload_symbols(10, params.replace(crc_enabled=False))
+        assert with_crc >= without
+
+    def test_implicit_header_saves_symbols(self, params):
+        explicit = payload_symbols(10, params)
+        implicit = payload_symbols(10, params.replace(explicit_header=False))
+        assert implicit <= explicit
+
+    def test_higher_coding_rate_costs_more(self, params):
+        cr45 = payload_symbols(50, params)
+        cr48 = payload_symbols(50, params.replace(coding_rate=CodingRate.CR4_8))
+        assert cr48 > cr45
+
+
+class TestTimeOnAir:
+    def test_reference_value_sf7_20_bytes(self, params):
+        # Semtech calculator: SF7 BW125 CR4/5 CRC on, explicit header,
+        # 8-symbol preamble, 20 B payload -> 56.58 ms.
+        toa = time_on_air(20, params)
+        assert toa == pytest.approx(0.05658, rel=1e-3)
+
+    def test_reference_value_sf12_20_bytes(self):
+        p = LoRaParams(spreading_factor=SpreadingFactor.SF12)
+        # Same calculator: SF12 BW125 -> 1318.9 ms.
+        assert time_on_air(20, p) == pytest.approx(1.3189, rel=1e-3)
+
+    def test_airtime_monotonic_in_payload(self, params):
+        times = [time_on_air(n, params) for n in range(0, 255, 16)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_airtime_monotonic_in_sf(self):
+        times = [
+            time_on_air(32, LoRaParams(spreading_factor=sf)) for sf in SpreadingFactor
+        ]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_wider_bandwidth_is_faster(self):
+        narrow = time_on_air(32, LoRaParams(bandwidth=Bandwidth.BW125))
+        wide = time_on_air(32, LoRaParams(bandwidth=Bandwidth.BW500))
+        assert wide < narrow
+
+    def test_sf_step_roughly_doubles_airtime(self):
+        # Each SF step doubles symbol time; payload airtime roughly doubles
+        # (slightly less because symbols carry more bits at higher SF).
+        t9 = time_on_air(64, LoRaParams(spreading_factor=SpreadingFactor.SF9))
+        t10 = time_on_air(64, LoRaParams(spreading_factor=SpreadingFactor.SF10))
+        assert 1.6 < t10 / t9 < 2.4
+
+    def test_total_is_preamble_plus_payload(self, params):
+        assert time_on_air(40, params) == pytest.approx(
+            preamble_duration(params) + payload_duration(40, params)
+        )
+
+
+class TestSizing:
+    def test_max_payload_for_airtime_roundtrip(self, params):
+        budget = 0.1
+        size = max_payload_for_airtime(budget, params)
+        assert time_on_air(size, params) <= budget
+        assert time_on_air(size + 1, params) > budget
+
+    def test_max_payload_respects_limit(self, params):
+        assert max_payload_for_airtime(10.0, params, limit=100) == 100
+
+    def test_max_payload_impossible_budget(self):
+        p = LoRaParams(spreading_factor=SpreadingFactor.SF12)
+        assert max_payload_for_airtime(0.001, p) == -1
+
+    def test_effective_bitrate_below_raw(self, params):
+        # Preamble and framing overhead keep goodput under the raw rate.
+        assert effective_bitrate(100, params) < params.raw_bitrate
+
+    def test_effective_bitrate_improves_with_size(self, params):
+        assert effective_bitrate(200, params) > effective_bitrate(10, params)

@@ -1,0 +1,118 @@
+"""Tests for the block-fading channel."""
+
+import pytest
+
+from repro.phy.fading import BlockFadingPathLoss
+from repro.phy.pathloss import FreeSpacePathLoss, LogDistancePathLoss
+from repro.sim.kernel import Simulator
+
+A = (0.0, 0.0)
+B = (100.0, 0.0)
+C = (0.0, 100.0)
+
+
+@pytest.fixture
+def channel():
+    sim = Simulator()
+    model = BlockFadingPathLoss(
+        LogDistancePathLoss(), sim, coherence_time_s=30.0, sigma_db=4.0, seed=1
+    )
+    return sim, model
+
+
+class TestBlockStructure:
+    def test_constant_within_block(self, channel):
+        sim, model = channel
+        first = model.loss_db(A, B, 868.0)
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=10.0)
+        assert model.loss_db(A, B, 868.0) == first
+
+    def test_redraw_across_blocks(self, channel):
+        sim, model = channel
+        first = model.loss_db(A, B, 868.0)
+        sim.run(until=31.0)
+        assert model.loss_db(A, B, 868.0) != first
+
+    def test_block_index(self, channel):
+        sim, model = channel
+        assert model.current_block() == 0
+        sim.run(until=95.0)
+        assert model.current_block() == 3
+
+    def test_reciprocal_within_block(self, channel):
+        _, model = channel
+        assert model.loss_db(A, B, 868.0) == model.loss_db(B, A, 868.0)
+
+    def test_links_fade_independently(self, channel):
+        _, model = channel
+        # Same distance, different links -> different fading draws.
+        assert model.fading_db(A, B) != model.fading_db(A, C)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        def draws(seed):
+            sim = Simulator()
+            model = BlockFadingPathLoss(
+                FreeSpacePathLoss(), sim, coherence_time_s=10.0, sigma_db=3.0, seed=seed
+            )
+            out = []
+            for block in range(5):
+                sim.run(until=block * 10.0 + 1.0)
+                out.append(model.loss_db(A, B, 868.0))
+            return out
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+
+    def test_evaluation_order_independent(self):
+        sim = Simulator()
+        model = BlockFadingPathLoss(
+            FreeSpacePathLoss(), sim, coherence_time_s=10.0, sigma_db=3.0, seed=2
+        )
+        ab_first = model.fading_db(A, B)
+        sim2 = Simulator()
+        model2 = BlockFadingPathLoss(
+            FreeSpacePathLoss(), sim2, coherence_time_s=10.0, sigma_db=3.0, seed=2
+        )
+        model2.fading_db(A, C)  # evaluate another link first
+        assert model2.fading_db(A, B) == ab_first
+
+
+class TestStatistics:
+    def test_fading_is_zero_mean_ish(self):
+        sim = Simulator()
+        model = BlockFadingPathLoss(
+            FreeSpacePathLoss(), sim, coherence_time_s=1.0, sigma_db=4.0, seed=3
+        )
+        draws = []
+        for block in range(300):
+            sim.run(until=block * 1.0 + 0.5)
+            draws.append(model.fading_db(A, B))
+        mean = sum(draws) / len(draws)
+        var = sum((d - mean) ** 2 for d in draws) / len(draws)
+        assert abs(mean) < 1.0
+        assert 4.0**2 * 0.6 < var < 4.0**2 * 1.5
+
+    def test_zero_sigma_is_transparent(self):
+        sim = Simulator()
+        base = FreeSpacePathLoss()
+        model = BlockFadingPathLoss(base, sim, coherence_time_s=10.0, sigma_db=0.0)
+        assert model.loss_db(A, B, 868.0) == base.loss_db(A, B, 868.0)
+
+
+class TestValidation:
+    def test_bad_coherence_rejected(self):
+        with pytest.raises(ValueError):
+            BlockFadingPathLoss(FreeSpacePathLoss(), Simulator(), coherence_time_s=0.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            BlockFadingPathLoss(FreeSpacePathLoss(), Simulator(), sigma_db=-1.0)
+
+    def test_reset_clears_cache(self, channel):
+        sim, model = channel
+        model.loss_db(A, B, 868.0)
+        model.reset()
+        assert model._cache == {}

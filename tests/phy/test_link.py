@@ -1,0 +1,93 @@
+"""Tests for the link budget and capture rules."""
+
+import pytest
+
+from repro.phy.link import (
+    CAPTURE_THRESHOLD_DB,
+    INTER_SF_REJECTION_DB,
+    LinkBudget,
+    noise_floor_dbm,
+    sensitivity_dbm,
+    snr_floor_db,
+    survives_interference,
+)
+from repro.phy.modulation import Bandwidth, LoRaParams, SpreadingFactor
+from repro.phy.pathloss import FreeSpacePathLoss, LogDistancePathLoss
+
+
+class TestFloors:
+    def test_snr_floor_monotonic_in_sf(self):
+        floors = [snr_floor_db(sf) for sf in SpreadingFactor]
+        assert all(b < a for a, b in zip(floors, floors[1:]))
+
+    def test_sf7_floor_datasheet_value(self):
+        assert snr_floor_db(SpreadingFactor.SF7) == -7.5
+
+    def test_noise_floor_bw125(self):
+        # -174 + 10log10(125e3) + 6 = -117.03 dBm
+        assert noise_floor_dbm(Bandwidth.BW125) == pytest.approx(-117.03, abs=0.01)
+
+    def test_sensitivity_sf7_bw125(self):
+        # Noise floor + SNR floor = -124.5 dBm (datasheet: -124 dBm)
+        assert sensitivity_dbm(LoRaParams()) == pytest.approx(-124.5, abs=0.1)
+
+    def test_sensitivity_improves_with_sf(self):
+        values = [
+            sensitivity_dbm(LoRaParams(spreading_factor=sf)) for sf in SpreadingFactor
+        ]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+
+class TestLinkBudget:
+    def test_received_power_includes_gains_and_losses(self):
+        budget = LinkBudget(
+            FreeSpacePathLoss(), tx_antenna_gain_dbi=2.0, rx_antenna_gain_dbi=3.0, fixed_loss_db=1.0
+        )
+        base = LinkBudget(FreeSpacePathLoss())
+        delta = budget.received_power_dbm((0, 0), (100, 0), LoRaParams()) - base.received_power_dbm(
+            (0, 0), (100, 0), LoRaParams()
+        )
+        assert delta == pytest.approx(4.0)
+
+    def test_default_channel_sf7_range_about_135m(self):
+        budget = LinkBudget(LogDistancePathLoss())
+        p = LoRaParams()
+        assert budget.in_range((0, 0), (130, 0), p)
+        assert not budget.in_range((0, 0), (150, 0), p)
+
+    def test_higher_sf_extends_range(self):
+        budget = LinkBudget(LogDistancePathLoss())
+        sf12 = LoRaParams(spreading_factor=SpreadingFactor.SF12)
+        assert budget.in_range((0, 0), (400, 0), sf12)
+
+    def test_evaluate_reports_consistent_fields(self):
+        budget = LinkBudget(LogDistancePathLoss())
+        q = budget.evaluate((0, 0), (100, 0), LoRaParams())
+        assert q.snr_db == pytest.approx(q.rssi_dbm - noise_floor_dbm(Bandwidth.BW125))
+        assert q.above_sensitivity == (q.snr_db >= snr_floor_db(SpreadingFactor.SF7))
+
+
+class TestCapture:
+    def test_same_sf_capture_needs_6db(self):
+        sf = SpreadingFactor.SF7
+        assert survives_interference(-100.0, sf, -106.0, sf)
+        assert not survives_interference(-100.0, sf, -105.0, sf)
+
+    def test_same_sf_equal_power_destroys_both(self):
+        sf = SpreadingFactor.SF7
+        assert not survives_interference(-100.0, sf, -100.0, sf)
+
+    def test_cross_sf_quasi_orthogonal(self):
+        # A slightly stronger different-SF interferer does not corrupt.
+        assert survives_interference(
+            -100.0, SpreadingFactor.SF7, -95.0, SpreadingFactor.SF9
+        )
+
+    def test_cross_sf_very_strong_interferer_corrupts(self):
+        assert not survives_interference(
+            -100.0, SpreadingFactor.SF7, -100.0 + INTER_SF_REJECTION_DB, SpreadingFactor.SF9
+        )
+
+    def test_thresholds_are_sane(self):
+        assert CAPTURE_THRESHOLD_DB > 0
+        assert INTER_SF_REJECTION_DB > CAPTURE_THRESHOLD_DB

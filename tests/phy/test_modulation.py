@@ -1,0 +1,94 @@
+"""Tests for LoRa modulation parameter types."""
+
+import pytest
+
+from repro.phy.modulation import Bandwidth, CodingRate, LoRaParams, SpreadingFactor
+
+
+class TestSpreadingFactor:
+    def test_chips_per_symbol(self):
+        assert SpreadingFactor.SF7.chips_per_symbol == 128
+        assert SpreadingFactor.SF12.chips_per_symbol == 4096
+
+    def test_all_six_factors_exist(self):
+        assert [int(sf) for sf in SpreadingFactor] == [7, 8, 9, 10, 11, 12]
+
+
+class TestBandwidth:
+    def test_hz_and_khz(self):
+        assert Bandwidth.BW125.hz == 125_000
+        assert Bandwidth.BW125.khz == 125.0
+        assert Bandwidth.BW500.hz == 500_000
+
+
+class TestCodingRate:
+    def test_denominator(self):
+        assert CodingRate.CR4_5.denominator == 5
+        assert CodingRate.CR4_8.denominator == 8
+
+    def test_ratio(self):
+        assert CodingRate.CR4_5.ratio == pytest.approx(0.8)
+        assert CodingRate.CR4_8.ratio == pytest.approx(0.5)
+
+
+class TestLoRaParams:
+    def test_defaults_match_demo_configuration(self):
+        p = LoRaParams()
+        assert p.spreading_factor is SpreadingFactor.SF7
+        assert p.bandwidth is Bandwidth.BW125
+        assert p.coding_rate is CodingRate.CR4_5
+        assert p.preamble_symbols == 8
+        assert p.explicit_header
+        assert p.crc_enabled
+        assert p.frequency_mhz == 868.0
+
+    def test_symbol_time_sf7_bw125(self):
+        # 128 chips / 125 kHz = 1.024 ms
+        assert LoRaParams().symbol_time == pytest.approx(1.024e-3)
+
+    def test_symbol_time_sf12_bw125(self):
+        p = LoRaParams(spreading_factor=SpreadingFactor.SF12)
+        assert p.symbol_time == pytest.approx(32.768e-3)
+
+    def test_ldro_auto_enabled_for_slow_symbols(self):
+        # SF11/SF12 at BW125 have symbol times >= 16 ms -> LDRO mandatory.
+        assert LoRaParams(spreading_factor=SpreadingFactor.SF11).ldro_enabled
+        assert LoRaParams(spreading_factor=SpreadingFactor.SF12).ldro_enabled
+        assert not LoRaParams(spreading_factor=SpreadingFactor.SF10).ldro_enabled
+
+    def test_ldro_explicit_override_wins(self):
+        p = LoRaParams(spreading_factor=SpreadingFactor.SF12, low_data_rate=False)
+        assert not p.ldro_enabled
+
+    def test_ldro_off_for_sf12_bw500(self):
+        p = LoRaParams(spreading_factor=SpreadingFactor.SF12, bandwidth=Bandwidth.BW500)
+        assert p.symbol_time == pytest.approx(8.192e-3)
+        assert not p.ldro_enabled
+
+    def test_short_preamble_rejected(self):
+        with pytest.raises(ValueError):
+            LoRaParams(preamble_symbols=4)
+
+    def test_out_of_band_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            LoRaParams(frequency_mhz=2400.0)
+
+    def test_excessive_tx_power_rejected(self):
+        with pytest.raises(ValueError):
+            LoRaParams(tx_power_dbm=30.0)
+
+    def test_raw_bitrate_sf7(self):
+        # SF7 CR4/5 BW125: 7 * 0.8 * 125000 / 128 = 5468.75 bit/s
+        assert LoRaParams().raw_bitrate == pytest.approx(5468.75)
+
+    def test_replace_returns_modified_copy(self):
+        base = LoRaParams()
+        changed = base.replace(spreading_factor=SpreadingFactor.SF9)
+        assert changed.spreading_factor is SpreadingFactor.SF9
+        assert base.spreading_factor is SpreadingFactor.SF7
+
+    def test_params_hashable_and_frozen(self):
+        p = LoRaParams()
+        assert hash(p) == hash(LoRaParams())
+        with pytest.raises(AttributeError):
+            p.preamble_symbols = 12  # type: ignore[misc]

@@ -1,0 +1,132 @@
+"""Tests for propagation models."""
+
+import math
+import random
+
+import pytest
+
+from repro.phy.pathloss import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    MultiWallPathLoss,
+    distance,
+    _segments_intersect,
+)
+
+
+class TestDistance:
+    def test_euclidean(self):
+        assert distance((0, 0), (3, 4)) == 5.0
+
+    def test_zero(self):
+        assert distance((1, 1), (1, 1)) == 0.0
+
+
+class TestFreeSpace:
+    def test_reference_value_1km_868mhz(self):
+        # FSPL(1 km, 868 MHz) = 20log10(1) + 20log10(868) + 32.44 = 91.2 dB
+        loss = FreeSpacePathLoss().loss_db((0, 0), (1000, 0), 868.0)
+        assert loss == pytest.approx(91.21, abs=0.05)
+
+    def test_doubling_distance_adds_6db(self):
+        model = FreeSpacePathLoss()
+        near = model.loss_db((0, 0), (500, 0), 868.0)
+        far = model.loss_db((0, 0), (1000, 0), 868.0)
+        assert far - near == pytest.approx(6.02, abs=0.01)
+
+    def test_colocated_nodes_use_distance_floor(self):
+        model = FreeSpacePathLoss()
+        assert math.isfinite(model.loss_db((0, 0), (0, 0), 868.0))
+
+    def test_higher_frequency_more_loss(self):
+        model = FreeSpacePathLoss()
+        assert model.loss_db((0, 0), (100, 0), 915.0) > model.loss_db((0, 0), (100, 0), 868.0)
+
+
+class TestLogDistance:
+    def test_reference_distance_gives_reference_loss(self):
+        model = LogDistancePathLoss()
+        assert model.loss_db((0, 0), (40, 0), 868.0) == pytest.approx(127.41)
+
+    def test_exponent_slope(self):
+        model = LogDistancePathLoss(exponent=3.0, reference_distance_m=10.0, reference_loss_db=60.0)
+        # One decade of distance adds 10*n dB.
+        assert model.loss_db((0, 0), (100, 0), 868.0) - model.loss_db(
+            (0, 0), (10, 0), 868.0
+        ) == pytest.approx(30.0)
+
+    def test_invalid_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(exponent=0.0)
+
+    def test_shadowing_requires_rng(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(shadowing_sigma_db=4.0)
+
+    def test_shadowing_frozen_per_link(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=6.0, rng=random.Random(3))
+        first = model.loss_db((0, 0), (100, 0), 868.0)
+        second = model.loss_db((0, 0), (100, 0), 868.0)
+        assert first == second
+
+    def test_shadowing_reciprocal(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=6.0, rng=random.Random(3))
+        forward = model.loss_db((0, 0), (100, 0), 868.0)
+        backward = model.loss_db((100, 0), (0, 0), 868.0)
+        assert forward == backward
+
+    def test_shadowing_varies_across_links(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=6.0, rng=random.Random(3))
+        a = model.loss_db((0, 0), (100, 0), 868.0)
+        b = model.loss_db((0, 0), (0, 100), 868.0)
+        assert a != b  # same distance, different link -> different draw
+
+    def test_reset_redraws_shadowing(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=6.0, rng=random.Random(3))
+        first = model.loss_db((0, 0), (100, 0), 868.0)
+        model.reset()
+        second = model.loss_db((0, 0), (100, 0), 868.0)
+        assert first != second
+
+
+class TestMultiWall:
+    def test_wall_adds_penalty(self):
+        wall = [((50.0, -10.0), (50.0, 10.0))]
+        model = MultiWallPathLoss(wall, wall_loss_db=8.0)
+        clear = MultiWallPathLoss([], wall_loss_db=8.0)
+        through = model.loss_db((0, 0), (100, 0), 868.0)
+        free = clear.loss_db((0, 0), (100, 0), 868.0)
+        assert through - free == pytest.approx(8.0)
+
+    def test_parallel_path_misses_wall(self):
+        wall = [((50.0, 5.0), (50.0, 10.0))]
+        model = MultiWallPathLoss(wall, wall_loss_db=8.0)
+        clear = MultiWallPathLoss([], wall_loss_db=8.0)
+        assert model.loss_db((0, 0), (100, 0), 868.0) == pytest.approx(
+            clear.loss_db((0, 0), (100, 0), 868.0)
+        )
+
+    def test_multiple_walls_accumulate(self):
+        walls = [((30.0, -10.0), (30.0, 10.0)), ((60.0, -10.0), (60.0, 10.0))]
+        model = MultiWallPathLoss(walls, wall_loss_db=5.0)
+        clear = MultiWallPathLoss([], wall_loss_db=5.0)
+        delta = model.loss_db((0, 0), (100, 0), 868.0) - clear.loss_db((0, 0), (100, 0), 868.0)
+        assert delta == pytest.approx(10.0)
+
+    def test_negative_wall_loss_rejected(self):
+        with pytest.raises(ValueError):
+            MultiWallPathLoss([], wall_loss_db=-1.0)
+
+
+class TestSegmentIntersection:
+    def test_crossing_segments(self):
+        assert _segments_intersect((0, 0), (10, 10), (0, 10), (10, 0))
+
+    def test_disjoint_segments(self):
+        assert not _segments_intersect((0, 0), (1, 1), (5, 5), (6, 6))
+
+    def test_touching_endpoint(self):
+        assert _segments_intersect((0, 0), (5, 5), (5, 5), (10, 0))
+
+    def test_collinear_overlap(self):
+        assert _segments_intersect((0, 0), (10, 0), (5, 0), (15, 0))

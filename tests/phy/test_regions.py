@@ -1,0 +1,109 @@
+"""Tests for regulatory regions and duty-cycle accounting."""
+
+import pytest
+
+from repro.phy.regions import (
+    EU868,
+    UNRESTRICTED,
+    US915,
+    DutyCycleAccountant,
+    DutyCycleViolation,
+    Region,
+)
+
+
+class TestRegionDefinitions:
+    def test_eu868_is_one_percent(self):
+        assert EU868.duty_cycle == 0.01
+        assert EU868.window_s == 3600.0
+
+    def test_us915_dwell_limit(self):
+        assert US915.max_dwell_time_s == pytest.approx(0.4)
+        assert US915.duty_cycle == 1.0
+
+    def test_invalid_duty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            Region(name="bad", duty_cycle=0.0, max_dwell_time_s=1.0, max_eirp_dbm=14.0)
+        with pytest.raises(ValueError):
+            Region(name="bad", duty_cycle=1.5, max_dwell_time_s=1.0, max_eirp_dbm=14.0)
+
+
+class TestAccounting:
+    def test_fresh_accountant_allows_transmission(self):
+        acct = DutyCycleAccountant(EU868)
+        assert acct.can_transmit(0.0, 1.0)
+
+    def test_budget_exhaustion(self):
+        acct = DutyCycleAccountant(EU868)
+        # EU868 budget: 36 s of airtime per hour.
+        acct.record(0.0, 36.0)
+        assert not acct.can_transmit(1.0, 0.1)
+
+    def test_budget_frees_as_window_slides(self):
+        acct = DutyCycleAccountant(EU868)
+        acct.record(0.0, 36.0)
+        assert not acct.can_transmit(100.0, 1.0)
+        assert acct.can_transmit(3601.0, 1.0)
+
+    def test_window_utilisation(self):
+        acct = DutyCycleAccountant(EU868)
+        acct.record(0.0, 18.0)
+        assert acct.window_utilisation(1.0) == pytest.approx(0.005)
+        assert acct.window_utilisation(3601.0) == pytest.approx(0.0)
+
+    def test_total_airtime_never_pruned(self):
+        acct = DutyCycleAccountant(EU868)
+        acct.record(0.0, 10.0)
+        acct.record(4000.0, 5.0)
+        assert acct.total_airtime_s == pytest.approx(15.0)
+
+    def test_next_allowed_time_now_when_budget_free(self):
+        acct = DutyCycleAccountant(EU868)
+        assert acct.next_allowed_time(5.0, 1.0) == 5.0
+
+    def test_next_allowed_time_after_exhaustion(self):
+        acct = DutyCycleAccountant(EU868)
+        acct.record(10.0, 36.0)
+        # The frame that exhausted the budget ages out at 10 + 3600.
+        assert acct.next_allowed_time(100.0, 1.0) == pytest.approx(3610.0)
+
+    def test_next_allowed_walks_multiple_records(self):
+        acct = DutyCycleAccountant(EU868)
+        acct.record(0.0, 20.0)
+        acct.record(50.0, 16.0)
+        # Needs 10 s freed: the first record (20 s) ageing out suffices.
+        assert acct.next_allowed_time(60.0, 10.0) == pytest.approx(3600.0)
+
+    def test_dwell_time_violation_raises_on_record(self):
+        acct = DutyCycleAccountant(US915)
+        with pytest.raises(DutyCycleViolation):
+            acct.record(0.0, 0.5)
+
+    def test_dwell_time_blocks_can_transmit(self):
+        acct = DutyCycleAccountant(US915)
+        assert not acct.can_transmit(0.0, 0.5)
+        assert acct.can_transmit(0.0, 0.3)
+
+    def test_dwell_violation_in_next_allowed(self):
+        acct = DutyCycleAccountant(US915)
+        with pytest.raises(DutyCycleViolation):
+            acct.next_allowed_time(0.0, 1.0)
+
+    def test_negative_airtime_rejected(self):
+        acct = DutyCycleAccountant(EU868)
+        with pytest.raises(ValueError):
+            acct.record(0.0, -1.0)
+
+    def test_unrestricted_region_never_blocks(self):
+        acct = DutyCycleAccountant(UNRESTRICTED)
+        acct.record(0.0, 1800.0)
+        assert acct.can_transmit(1.0, 1000.0)
+
+    def test_many_small_frames_accumulate(self):
+        acct = DutyCycleAccountant(EU868)
+        for i in range(35):
+            assert acct.can_transmit(i * 10.0, 1.0)
+            acct.record(i * 10.0, 1.0)
+        # 35 s used of the 36 s budget: a 2 s frame no longer fits.
+        assert not acct.can_transmit(355.0, 2.0)
+        assert acct.can_transmit(355.0, 1.0)

@@ -1,0 +1,82 @@
+"""Property tests on the data-plane classification."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import BROADCAST_ADDRESS
+from repro.net.forwarding import ForwardAction, classify
+from repro.net.packets import DataPacket, RoutingEntry
+from repro.net.routing_table import RoutingTable
+
+ME = 0x00FE
+
+addresses = st.integers(min_value=1, max_value=0xFFFE).filter(lambda a: a != ME)
+
+hello_feeds = st.lists(
+    st.tuples(
+        addresses,
+        st.lists(
+            st.builds(
+                RoutingEntry,
+                address=st.integers(1, 0xFFFE),
+                metric=st.integers(0, 10),
+                role=st.just(0),
+            ),
+            max_size=6,
+        ),
+    ),
+    max_size=10,
+)
+
+packets = st.builds(
+    DataPacket,
+    dst=st.one_of(addresses, st.just(ME), st.just(BROADCAST_ADDRESS)),
+    src=addresses,
+    via=st.one_of(addresses, st.just(ME), st.just(BROADCAST_ADDRESS)),
+    payload=st.binary(max_size=8),
+)
+
+
+def build_table(feeds) -> RoutingTable:
+    table = RoutingTable(ME)
+    for i, (src, entries) in enumerate(feeds):
+        table.process_hello(src, entries, now=float(i))
+    return table
+
+
+class TestClassifyProperties:
+    @given(feeds=hello_feeds, packet=packets)
+    def test_classification_is_total_and_consistent(self, feeds, packet):
+        table = build_table(feeds)
+        decision = classify(packet, ME, table)
+        if decision.action is ForwardAction.FORWARD:
+            assert decision.outgoing is not None
+            assert decision.next_hop is not None
+            # The rewritten packet keeps end-to-end identity.
+            assert decision.outgoing.dst == packet.dst
+            assert decision.outgoing.src == packet.src
+            assert decision.outgoing.payload == packet.payload
+            # And its via is a destination we can actually reach.
+            assert decision.outgoing.via == table.next_hop(packet.dst)
+        else:
+            assert decision.outgoing is None
+
+    @given(feeds=hello_feeds, packet=packets)
+    def test_never_forwards_to_self(self, feeds, packet):
+        table = build_table(feeds)
+        decision = classify(packet, ME, table)
+        if decision.action is ForwardAction.FORWARD:
+            assert decision.outgoing.via != ME
+
+    @given(feeds=hello_feeds, packet=packets)
+    def test_deliver_iff_addressed_here(self, feeds, packet):
+        table = build_table(feeds)
+        decision = classify(packet, ME, table)
+        addressed_here = packet.dst in (ME, BROADCAST_ADDRESS)
+        assert (decision.action is ForwardAction.DELIVER) == addressed_here
+
+    @given(feeds=hello_feeds, packet=packets)
+    def test_only_named_via_triggers_work(self, feeds, packet):
+        table = build_table(feeds)
+        decision = classify(packet, ME, table)
+        if packet.dst not in (ME, BROADCAST_ADDRESS) and packet.via != ME:
+            assert decision.action is ForwardAction.OVERHEAR

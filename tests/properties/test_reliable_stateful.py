@@ -1,0 +1,152 @@
+"""Stateful property test of the reliable transport.
+
+Hypothesis drives a random interleaving of sends, frame drops, frame
+deliveries, and time advancement against a pair of transports, checking
+the end-to-end transport invariants the protocol promises:
+
+* every payload whose sender saw success was delivered intact,
+* no payload is delivered twice,
+* nothing is delivered that was never sent,
+* every send eventually resolves (success or failure) once the wire is
+  allowed to drain.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, precondition, rule
+import hypothesis.strategies as st
+
+from repro.net.config import MesherConfig
+from repro.net.packets import (
+    AckPacket,
+    LostPacket,
+    NeedAckPacket,
+    SyncPacket,
+    XLDataPacket,
+)
+from repro.net.reliable import ReliableTransport
+from repro.sim.kernel import Simulator
+
+A, B = 0x000A, 0x000B
+
+
+class ReliableTransportMachine(RuleBasedStateMachine):
+    """Random adversarial wire between two transports."""
+
+    @initialize()
+    def setup(self):
+        self.sim = Simulator()
+        self.config = MesherConfig(
+            fragment_size=40,
+            fragment_spacing_s=0.1,
+            ack_timeout_s=2.0,
+            gap_timeout_s=1.5,
+            max_retries=4,
+        )
+        self.pending = []  # frames queued on the wire, in order
+        self.received = []  # (payload) delivered at B
+        self.outcomes = {}  # send_id -> (ok, payload)
+        self.sent_payloads = {}  # send_id -> payload
+        self.next_send_id = 0
+        self.transports = {}
+        for address in (A, B):
+            self.transports[address] = ReliableTransport(
+                self.sim,
+                address,
+                self.config,
+                enqueue=self._enqueue,
+                route_via=lambda dst: dst,
+                deliver=self._deliver,
+            )
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, packet) -> bool:
+        self.pending.append(packet)
+        return True
+
+    def _deliver(self, src: int, payload: bytes) -> None:
+        self.received.append(payload)
+
+    def _dispatch(self, packet) -> None:
+        transport = self.transports.get(packet.dst)
+        if transport is None:
+            return
+        handler = {
+            NeedAckPacket: transport.handle_need_ack,
+            AckPacket: transport.handle_ack,
+            LostPacket: transport.handle_lost,
+            SyncPacket: transport.handle_sync,
+            XLDataPacket: transport.handle_xl_data,
+        }[type(packet)]
+        handler(packet)
+
+    # ------------------------------------------------------------------
+    @rule(size=st.integers(min_value=0, max_value=300), fill=st.integers(0, 255))
+    def send(self, size, fill):
+        send_id = self.next_send_id
+        self.next_send_id += 1
+        payload = bytes([fill]) * size
+        self.sent_payloads[send_id] = payload
+        self.transports[A].send(
+            B,
+            payload,
+            lambda ok, why, _id=send_id: self.outcomes.__setitem__(_id, ok),
+        )
+
+    @rule()
+    @precondition(lambda self: self.pending)
+    def deliver_next(self):
+        self._dispatch(self.pending.pop(0))
+
+    @rule()
+    @precondition(lambda self: self.pending)
+    def drop_next(self):
+        self.pending.pop(0)
+
+    @rule(dt=st.floats(min_value=0.05, max_value=3.0))
+    def advance(self, dt):
+        self.sim.run(until=self.sim.now + dt)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def delivered_only_sent_payloads(self):
+        sent = list(self.sent_payloads.values())
+        for payload in self.received:
+            assert payload in sent
+
+    @invariant()
+    def no_duplicate_deliveries(self):
+        # Payload bytes may repeat across sends (same size+fill), so the
+        # count of deliveries of a given payload never exceeds the count
+        # of sends of it.
+        for payload in set(self.received):
+            sends = sum(1 for p in self.sent_payloads.values() if p == payload)
+            deliveries = sum(1 for p in self.received if p == payload)
+            assert deliveries <= sends
+
+    def teardown(self):
+        # Drain: deliver everything still pending and let timers settle;
+        # afterwards every send must have resolved one way or the other.
+        for _ in range(2000):
+            if self.pending:
+                self._dispatch(self.pending.pop(0))
+            else:
+                before = self.sim.now
+                self.sim.run(until=before + 5.0)
+                if not self.pending and self.sim.pending == 0:
+                    break
+        unresolved = [
+            send_id for send_id in self.sent_payloads if send_id not in self.outcomes
+        ]
+        assert not unresolved, f"sends never resolved: {unresolved}"
+        # Successful sends were delivered intact at least once.
+        for send_id, ok in self.outcomes.items():
+            if ok:
+                assert self.sent_payloads[send_id] in self.received
+
+
+ReliableTransportMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestReliableTransportStateful = ReliableTransportMachine.TestCase

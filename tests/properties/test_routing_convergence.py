@@ -1,0 +1,110 @@
+"""Property: abstract DV exchange converges to true shortest paths.
+
+Strips the radio away entirely: N routing tables exchange snapshots
+along the edges of a random connected graph (in hypothesis-chosen
+order), and after enough full rounds every table's metric must equal the
+true shortest-path distance.  This verifies the *algorithm* independent
+of channel behaviour — the integration tests verify it over the air.
+"""
+
+import itertools
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.net.routing_table import RoutingTable
+
+
+def _random_connected_graph(n: int, extra_edge_bits: list) -> nx.Graph:
+    """A connected graph: a random spanning tree plus optional extras."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    # Spanning tree: attach node i to a pseudo-random earlier node.
+    for i in range(1, n):
+        parent = extra_edge_bits[i % len(extra_edge_bits)] % i if extra_edge_bits else 0
+        graph.add_edge(i, parent)
+    # Extra edges from the bit list.
+    pairs = list(itertools.combinations(range(n), 2))
+    for k, bit in enumerate(extra_edge_bits):
+        if bit % 3 == 0:
+            graph.add_edge(*pairs[bit % len(pairs)])
+    return graph
+
+
+@st.composite
+def dv_scenarios(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    bits = draw(st.lists(st.integers(0, 1_000), min_size=1, max_size=12))
+    order_seed = draw(st.randoms(use_true_random=False))
+    return n, bits, order_seed
+
+
+class TestDistanceVectorConvergence:
+    @settings(max_examples=40, deadline=None)
+    @given(scenario=dv_scenarios())
+    def test_converges_to_shortest_paths(self, scenario):
+        n, bits, order_rng = scenario
+        graph = _random_connected_graph(n, bits)
+        addresses = [0x0100 + i for i in range(n)]
+        tables = {
+            i: RoutingTable(addresses[i], route_timeout=1e9, max_metric=32)
+            for i in range(n)
+        }
+
+        edges = list(graph.edges())
+        now = 0.0
+        # Diameter+2 full rounds of bidirectional exchanges suffice for DV.
+        rounds = nx.diameter(graph) + 2 if n > 1 else 1
+        for _ in range(rounds):
+            order_rng.shuffle(edges)
+            for u, v in edges:
+                now += 1.0
+                tables[v].process_hello(addresses[u], tables[u].snapshot()[1:], now)
+                tables[u].process_hello(addresses[v], tables[v].snapshot()[1:], now)
+
+        truth = dict(nx.all_pairs_shortest_path_length(graph))
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                assert tables[i].metric(addresses[j]) == truth[i][j], (
+                    f"table {i} -> {j}: got {tables[i].metric(addresses[j])}, "
+                    f"true {truth[i][j]}"
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(scenario=dv_scenarios())
+    def test_next_hops_are_loop_free_at_convergence(self, scenario):
+        n, bits, order_rng = scenario
+        graph = _random_connected_graph(n, bits)
+        addresses = [0x0100 + i for i in range(n)]
+        index_of = {a: i for i, a in enumerate(addresses)}
+        tables = {
+            i: RoutingTable(addresses[i], route_timeout=1e9, max_metric=32)
+            for i in range(n)
+        }
+        edges = list(graph.edges())
+        rounds = (nx.diameter(graph) + 2) if n > 1 else 1
+        now = 0.0
+        for _ in range(rounds):
+            order_rng.shuffle(edges)
+            for u, v in edges:
+                now += 1.0
+                tables[v].process_hello(addresses[u], tables[u].snapshot()[1:], now)
+                tables[u].process_hello(addresses[v], tables[v].snapshot()[1:], now)
+
+        # Following next hops from any source reaches the destination in
+        # exactly metric steps (no loops, no dead ends).
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                steps = 0
+                at = i
+                while at != j:
+                    via = tables[at].next_hop(addresses[j])
+                    assert via is not None
+                    at = index_of[via]
+                    steps += 1
+                    assert steps <= n, "forwarding loop"
+                assert steps == tables[i].metric(addresses[j])

@@ -1,0 +1,243 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.errors import SchedulingError, SimulationError
+from repro.sim.kernel import PeriodicTimer, Simulator, format_time
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_fires_at_delay(self, sim):
+        fired = []
+        sim.schedule(2.5, lambda: fired.append(sim.now))
+        sim.run(until=10.0)
+        assert fired == [2.5]
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(4.0, lambda: fired.append(sim.now))
+        sim.run(until=10.0)
+        assert fired == [4.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=5.0)
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_non_callable_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(1.0, "not callable")
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run(until=10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_scheduling_order(self, sim):
+        order = []
+        for name in "abcde":
+            sim.schedule(1.0, lambda n=name: order.append(n))
+        sim.run(until=10.0)
+        assert order == list("abcde")
+
+    def test_priority_beats_scheduling_order(self, sim):
+        from repro.sim.kernel import PRIORITY_HIGH
+
+        order = []
+        sim.schedule(1.0, lambda: order.append("normal"))
+        sim.schedule(1.0, lambda: order.append("high"), priority=PRIORITY_HIGH)
+        sim.run(until=10.0)
+        assert order == ["high", "normal"]
+
+    def test_callback_can_schedule_more_events(self, sim):
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run(until=10.0)
+        assert fired == ["first", "second"]
+
+    def test_call_soon_runs_at_current_time(self, sim):
+        times = []
+        sim.schedule(3.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+        sim.run(until=10.0)
+        assert times == [3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run(until=10.0)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()  # must not raise
+        assert not handle.active
+
+    def test_handle_reports_time_and_activity(self, sim):
+        handle = sim.schedule(2.0, lambda: None, label="x")
+        assert handle.time == 2.0
+        assert handle.label == "x"
+        assert handle.active
+        handle.cancel()
+        assert not handle.active
+
+
+class TestRun:
+    def test_run_advances_clock_to_horizon_even_when_idle(self, sim):
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_run_does_not_execute_events_beyond_horizon(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(1))
+        sim.run(until=4.0)
+        assert fired == []
+        sim.run(until=6.0)
+        assert fired == [1]
+
+    def test_run_without_horizon_drains_queue(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(100.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+        assert sim.now == 100.0
+
+    def test_run_is_not_reentrant(self, sim):
+        def nested():
+            sim.run(until=5.0)
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run(until=10.0)
+
+    def test_max_events_guard(self, sim):
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0, max_events=100)
+
+    def test_stop_ends_run_early(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run(until=10.0)
+        assert fired == [1]
+        # Pending events remain runnable afterwards.
+        sim.run(until=10.0)
+        assert fired == [1, 2]
+
+    def test_step_executes_one_event(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step()
+        assert fired == [1]
+        assert sim.step()
+        assert fired == [1, 2]
+        assert not sim.step()
+
+    def test_events_fired_counter(self, sim):
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.events_fired == 5
+
+    def test_pending_excludes_cancelled(self, sim):
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        assert sim.pending == 1
+
+
+class TestPeriodicTimer:
+    def test_fires_every_period(self, sim):
+        times = []
+        sim.periodic(10.0, lambda: times.append(sim.now))
+        sim.run(until=35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_first_delay_override(self, sim):
+        times = []
+        sim.periodic(10.0, lambda: times.append(sim.now), first_delay=1.0)
+        sim.run(until=25.0)
+        assert times == [1.0, 11.0, 21.0]
+
+    def test_cancel_stops_firing(self, sim):
+        times = []
+        timer = sim.periodic(10.0, lambda: times.append(sim.now))
+        sim.run(until=15.0)
+        timer.cancel()
+        sim.run(until=100.0)
+        assert times == [10.0]
+        assert not timer.active
+
+    def test_callback_may_cancel_its_own_timer(self, sim):
+        timer = sim.periodic(5.0, lambda: timer.cancel())
+        sim.run(until=100.0)
+        assert timer.fired == 1
+
+    def test_jitter_applied_per_firing(self, sim):
+        times = []
+        jitters = iter([1.0, 2.0, 3.0, 0.0, 0.0])
+        timer = PeriodicTimer(sim, 10.0, lambda: times.append(sim.now), jitter=lambda: next(jitters))
+        timer.start()
+        sim.run(until=40.0)
+        assert times == [11.0, 23.0, 36.0]
+
+    def test_jitter_cannot_make_delay_negative(self, sim):
+        # A jitter larger than the period clamps the delay at zero: the
+        # timer fires repeatedly at the same instant but never rewinds time.
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now), jitter=lambda: -5.0)
+        timer.start()
+        sim.schedule(0.0, lambda: None)  # anchor an event so run() advances
+        for _ in range(10):
+            sim.step()
+        timer.cancel()
+        assert times and all(t == 0.0 for t in times)
+
+    def test_invalid_period_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.periodic(0.0, lambda: None)
+
+    def test_reset_rearms_from_now(self, sim):
+        times = []
+        timer = sim.periodic(10.0, lambda: times.append(sim.now))
+        sim.run(until=5.0)
+        timer.reset()
+        sim.run(until=30.0)
+        assert times == [15.0, 25.0]
+
+    def test_fired_count(self, sim):
+        timer = sim.periodic(1.0, lambda: None)
+        sim.run(until=5.5)
+        assert timer.fired == 5
+
+
+class TestFormatting:
+    def test_format_time(self):
+        assert format_time(0.0) == "0:00:00.000"
+        assert format_time(3661.5) == "1:01:01.500"
+        assert format_time(0.1234) == "0:00:00.123"

@@ -1,0 +1,183 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.errors import ProcessKilled, SimulationError
+from repro.sim.process import Process, Timeout, Waiter
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_process_sleeps_for_timeout(self, sim):
+        times = []
+
+        def body():
+            times.append(sim.now)
+            yield Timeout(5.0)
+            times.append(sim.now)
+
+        Process(sim, body())
+        sim.run(until=10.0)
+        assert times == [0.0, 5.0]
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        times = []
+
+        def body():
+            for _ in range(3):
+                yield Timeout(2.0)
+                times.append(sim.now)
+
+        Process(sim, body())
+        sim.run(until=10.0)
+        assert times == [2.0, 4.0, 6.0]
+
+
+class TestWaiter:
+    def test_waiter_resumes_with_value(self, sim):
+        waiter = Waiter()
+        results = []
+
+        def body():
+            value = yield waiter
+            results.append(value)
+
+        Process(sim, body())
+        sim.schedule(3.0, lambda: waiter.fire("payload"))
+        sim.run(until=10.0)
+        assert results == ["payload"]
+
+    def test_waiter_fires_once_only(self, sim):
+        waiter = Waiter()
+        waiter.fire(1)
+        with pytest.raises(SimulationError):
+            waiter.fire(2)
+
+    def test_callback_after_fire_runs_immediately(self):
+        waiter = Waiter()
+        waiter.fire("x")
+        got = []
+        waiter.add_callback(got.append)
+        assert got == ["x"]
+
+    def test_multiple_waiting_processes_all_resume(self, sim):
+        waiter = Waiter()
+        resumed = []
+
+        def body(name):
+            yield waiter
+            resumed.append(name)
+
+        Process(sim, body("a"))
+        Process(sim, body("b"))
+        sim.schedule(1.0, waiter.fire)
+        sim.run(until=10.0)
+        assert sorted(resumed) == ["a", "b"]
+
+
+class TestProcessLifecycle:
+    def test_result_available_after_completion(self, sim):
+        def body():
+            yield Timeout(1.0)
+            return 42
+
+        proc = Process(sim, body())
+        sim.run(until=10.0)
+        assert proc.done
+        assert proc.result == 42
+
+    def test_completion_waiter_carries_result(self, sim):
+        def child():
+            yield Timeout(1.0)
+            return "child-result"
+
+        got = []
+
+        def parent():
+            value = yield Process(sim, child())
+            got.append(value)
+
+        Process(sim, parent())
+        sim.run(until=10.0)
+        assert got == ["child-result"]
+
+    def test_exception_propagates_via_result(self, sim):
+        def body():
+            yield Timeout(1.0)
+            raise RuntimeError("boom")
+
+        proc = Process(sim, body())
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run(until=10.0)
+        assert proc.done
+        with pytest.raises(RuntimeError, match="boom"):
+            proc.result
+
+    def test_kill_stops_process(self, sim):
+        progressed = []
+
+        def body():
+            yield Timeout(5.0)
+            progressed.append(True)
+
+        proc = Process(sim, body())
+        sim.run(until=1.0)
+        proc.kill()
+        sim.run(until=10.0)
+        assert proc.done
+        assert progressed == []
+
+    def test_kill_lets_cleanup_run(self, sim):
+        cleaned = []
+
+        def body():
+            try:
+                yield Timeout(5.0)
+            except ProcessKilled:
+                cleaned.append(True)
+                raise
+
+        proc = Process(sim, body())
+        sim.run(until=1.0)
+        proc.kill()
+        assert cleaned == [True]
+
+    def test_kill_finished_process_is_noop(self, sim):
+        def body():
+            return 7
+            yield  # pragma: no cover
+
+        proc = Process(sim, body())
+        sim.run(until=1.0)
+        proc.kill()
+        assert proc.result == 7
+
+    def test_unsupported_yield_raises(self, sim):
+        def body():
+            yield "nonsense"
+
+        Process(sim, body())
+        with pytest.raises(SimulationError, match="unsupported"):
+            sim.run(until=1.0)
+
+    def test_immediate_return_process(self, sim):
+        def body():
+            return "instant"
+            yield  # pragma: no cover
+
+        proc = Process(sim, body())
+        sim.run(until=0.1)
+        assert proc.done
+        assert proc.result == "instant"
+
+    def test_repr_shows_state(self, sim):
+        def body():
+            yield Timeout(1.0)
+
+        proc = Process(sim, body(), name="worker")
+        assert "running" in repr(proc)
+        sim.run(until=2.0)
+        assert "done" in repr(proc)

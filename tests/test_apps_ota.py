@@ -1,0 +1,166 @@
+"""Tests for the OTA dissemination application."""
+
+import pytest
+
+from repro.apps.ota import (
+    OtaNode,
+    decode_ota,
+    deploy_ota,
+    dissemination_complete,
+    encode_advert,
+    encode_blob,
+    encode_request,
+)
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.topology.placement import grid_positions, line_positions
+
+FAST = MesherConfig(hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0)
+BLOB = bytes(range(256)) * 4  # 1 KiB image
+
+
+class TestFraming:
+    def test_advert_roundtrip(self):
+        message = decode_ota(encode_advert(3, 1024))
+        assert (message.kind, message.version, message.size) == (0x01, 3, 1024)
+
+    def test_request_roundtrip(self):
+        message = decode_ota(encode_request(7))
+        assert (message.kind, message.version) == (0x02, 7)
+
+    def test_blob_roundtrip(self):
+        message = decode_ota(encode_blob(2, b"firmware"))
+        assert message.version == 2
+        assert message.blob == b"firmware"
+        assert message.size == 8
+
+    def test_non_ota_payload_ignored(self):
+        assert decode_ota(b"hello mesh") is None
+        assert decode_ota(b"") is None
+
+    def test_truncated_ota_ignored(self):
+        assert decode_ota(b"OTA1\x01\x00") is None
+        assert decode_ota(b"OTA1\x7f") is None
+
+
+def build(positions, seed=5, advert_period_s=60.0):
+    net = MeshNetwork.from_positions(positions, config=FAST, seed=seed)
+    net.run_until_converged(timeout_s=3600.0)
+    apps = deploy_ota(net.nodes, advert_period_s=advert_period_s, seed=seed)
+    return net, apps
+
+
+class TestDissemination:
+    def test_neighbour_gets_the_image(self):
+        net, apps = build(line_positions(2, spacing_m=80.0))
+        seed_app = apps[net.addresses[0]]
+        seed_app.install(1, BLOB)
+        net.run(for_s=600.0)
+        other = apps[net.addresses[1]]
+        assert other.version == 1
+        assert other.blob == BLOB
+
+    def test_wave_crosses_a_line(self):
+        net, apps = build(line_positions(4))
+        apps[net.addresses[0]].install(1, BLOB)
+        net.run(for_s=3600.0)
+        assert dissemination_complete(apps, 1)
+        for app in apps.values():
+            assert app.blob == BLOB
+
+    def test_each_transfer_is_single_hop(self):
+        # Epidemic spread means nobody ever forwards XL_DATA: every
+        # reliable transfer runs between radio neighbours.
+        net, apps = build(line_positions(4))
+        apps[net.addresses[0]].install(1, BLOB)
+        net.run(for_s=3600.0)
+        assert dissemination_complete(apps, 1)
+        assert all(n.stats.data_forwarded == 0 for n in net.nodes)
+
+    def test_grid_dissemination(self):
+        net, apps = build(grid_positions(3, 3, spacing_m=100.0))
+        apps[net.addresses[4]].install(2, BLOB)  # seed at the centre
+        net.run(for_s=3600.0)
+        assert dissemination_complete(apps, 2)
+
+    def test_version_upgrade_propagates(self):
+        net, apps = build(line_positions(3))
+        apps[net.addresses[0]].install(1, b"v1" + bytes(300))
+        net.run(for_s=2400.0)
+        assert dissemination_complete(apps, 1)
+        apps[net.addresses[2]].install(2, b"v2" + bytes(300))  # new seed, other end
+        net.run(for_s=2400.0)
+        assert dissemination_complete(apps, 2)
+        assert apps[net.addresses[0]].blob.startswith(b"v2")
+
+    def test_stale_blob_ignored(self):
+        net, apps = build(line_positions(2, spacing_m=80.0))
+        a = apps[net.addresses[0]]
+        a.install(5, BLOB)
+        a._handle_blob(decode_ota(encode_blob(3, b"old")))
+        assert a.version == 5
+        assert a.stats.stale_blobs_ignored == 1
+
+    def test_install_is_idempotent(self):
+        net, apps = build(line_positions(2, spacing_m=80.0))
+        a = apps[net.addresses[0]]
+        a.install(1, BLOB)
+        a.install(1, b"different")
+        assert a.blob == BLOB
+        assert a.stats.installs == 1
+
+    def test_request_holdoff_limits_begging(self):
+        # A node hearing two adverts back-to-back requests only once.
+        net, apps = build(line_positions(3, spacing_m=80.0))
+        middle = apps[net.addresses[1]]
+        middle_node = net.node(net.addresses[1])
+        apps[net.addresses[0]].install(1, BLOB)
+        apps[net.addresses[2]].install(1, BLOB)
+        # Deliver two adverts within the holdoff window.
+        from repro.net.mesher import AppMessage
+
+        middle._on_message(
+            AppMessage(src=net.addresses[0], payload=encode_advert(1, len(BLOB)),
+                       received_at=net.sim.now, reliable=False)
+        )
+        middle._on_message(
+            AppMessage(src=net.addresses[2], payload=encode_advert(1, len(BLOB)),
+                       received_at=net.sim.now, reliable=False)
+        )
+        assert middle.stats.requests_sent == 1
+
+    def test_serves_queue_sequentially(self):
+        net, apps = build(line_positions(3, spacing_m=80.0))
+        seed_app = apps[net.addresses[1]]  # middle can hear both ends
+        seed_app.install(1, BLOB)
+        net.run(for_s=1200.0)
+        assert dissemination_complete(apps, 1)
+        # The middle node served both neighbours, one at a time.
+        assert seed_app.stats.transfers_completed == 2
+
+    def test_dissemination_survives_loss(self):
+        import random as _random
+
+        loss_rng = _random.Random(9)
+        net = MeshNetwork.from_positions(
+            line_positions(3),
+            config=FAST,
+            seed=8,
+            loss_injector=lambda tx, rx: loss_rng.random() < 0.10,
+        )
+        net.run_until_converged(timeout_s=3600.0)
+        apps = deploy_ota(net.nodes, advert_period_s=60.0, seed=8)
+        apps[net.addresses[0]].install(1, BLOB)
+        net.run(for_s=2 * 3600.0)
+        assert dissemination_complete(apps, 1)
+
+    def test_app_coexists_with_user_callback(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST, seed=3)
+        net.run_until_converged(timeout_s=600.0)
+        got = []
+        b = net.nodes[1]
+        b.on_message = got.append
+        deploy_ota(net.nodes, seed=3)
+        net.nodes[0].send_datagram(b.address, b"user traffic")
+        net.run(for_s=60.0)
+        assert any(m.payload == b"user traffic" for m in got)

@@ -1,0 +1,179 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.seed == 0
+        assert args.hello_period == 60.0
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--nodes", "9", "--topology", "grid", "--spacing", "90"]
+        )
+        assert args.nodes == 9
+        assert args.topology == "grid"
+        assert args.spacing == 90.0
+
+    def test_bad_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--topology", "star"])
+
+
+class TestDemoCommand:
+    def test_demo_runs_and_delivers(self, capsys):
+        code = main(["demo", "--hello-period", "30", "--route-timeout", "120"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged after" in out
+        assert "hello mesh" in out
+        assert "Routing table of" in out
+
+
+class TestSimulateCommand:
+    def test_line_simulation_reports(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "3",
+                "--duration", "600",
+                "--hello-period", "30",
+                "--route-timeout", "120",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged at" in out
+        assert out.count("000") >= 3  # one row per node
+
+    def test_disconnected_simulation_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "2",
+                "--spacing", "2000",
+                "--duration", "300",
+                "--hello-period", "30",
+                "--route-timeout", "120",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DID NOT CONVERGE" in out
+
+    def test_grid_topology(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "4",
+                "--topology", "grid",
+                "--spacing", "100",
+                "--duration", "600",
+                "--hello-period", "30",
+                "--route-timeout", "120",
+            ]
+        )
+        assert code == 0
+
+
+class TestAirtimeCommand:
+    def test_airtime_table(self, capsys):
+        code = main(["airtime", "--payload", "20", "--sf", "7", "12"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SF7" in out and "SF12" in out
+        # SF7 reference value for 20 B: ~56.6 ms.
+        assert "56.6" in out
+
+    def test_invalid_sf_rejected(self):
+        with pytest.raises(ValueError):
+            main(["airtime", "--sf", "6"])
+
+
+class TestPingCommand:
+    def test_ping_across_line(self, capsys):
+        code = main(
+            ["ping", "--count", "2", "--interval", "10",
+             "--hello-period", "30", "--route-timeout", "120"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 packets transmitted, 2 received" in out
+        assert "rtt min/avg/max" in out
+
+
+class TestCaptureFlag:
+    def test_simulate_writes_capture(self, capsys, tmp_path):
+        path = tmp_path / "air.jsonl"
+        code = main(
+            ["simulate", "--nodes", "2", "--duration", "300",
+             "--hello-period", "30", "--route-timeout", "120",
+             "--capture", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "air capture" in out
+        assert path.exists()
+        assert len(path.read_text().splitlines()) > 0
+
+
+class TestLayoutFlag:
+    def test_simulate_runs_a_layout_file(self, capsys, tmp_path):
+        import json
+
+        layout_path = tmp_path / "site.json"
+        layout_path.write_text(
+            json.dumps(
+                {
+                    "name": "site",
+                    "spreading_factor": 7,
+                    "nodes": [{"x": 0, "y": 0}, {"x": 100, "y": 0}, {"x": 200, "y": 0}],
+                }
+            )
+        )
+        code = main(
+            ["simulate", "--layout", str(layout_path), "--duration", "600",
+             "--hello-period", "30", "--route-timeout", "120"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged at" in out
+
+
+class TestPlanCommand:
+    def test_connected_placement(self, capsys):
+        code = main(["plan", "--nodes", "4", "--spacing", "120"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "connected" in out
+        assert "yes" in out
+
+    def test_disconnected_placement_exit_code(self, capsys):
+        code = main(["plan", "--nodes", "3", "--spacing", "500"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NO" in out
+
+    def test_higher_sf_connects(self, capsys):
+        code = main(["plan", "--nodes", "3", "--spacing", "400", "--sf", "12"])
+        assert code == 0
+
+    def test_auto_sf_picks_cheapest(self, capsys):
+        code = main(["plan", "--nodes", "3", "--spacing", "250", "--auto-sf"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cheapest connecting spreading factor: SF10" in out
+
+    def test_auto_sf_impossible(self, capsys):
+        code = main(["plan", "--nodes", "2", "--spacing", "50000", "--auto-sf"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no spreading factor" in out

@@ -1,0 +1,73 @@
+"""Tests for the trace recorder."""
+
+import pytest
+
+from repro.trace.events import EventKind, TraceRecorder
+
+
+class TestRecording:
+    def test_records_and_counts(self):
+        trace = TraceRecorder()
+        trace.record(1.0, 0x01, EventKind.DATA_DELIVERED, bytes=10)
+        trace.record(2.0, 0x02, EventKind.DATA_DELIVERED, bytes=20)
+        assert len(trace) == 2
+        assert trace.count(EventKind.DATA_DELIVERED) == 2
+        assert trace.count(EventKind.DATA_FORWARDED) == 0
+
+    def test_disabled_recorder_still_counts(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, 0x01, EventKind.HELLO_SENT)
+        assert len(trace) == 0
+        assert trace.count(EventKind.HELLO_SENT) == 1
+
+    def test_capacity_bounds_storage_not_counts(self):
+        trace = TraceRecorder(capacity=2)
+        for i in range(5):
+            trace.record(float(i), 0x01, EventKind.FRAME_SENT)
+        assert len(trace) == 2
+        assert trace.count(EventKind.FRAME_SENT) == 5
+
+
+class TestQueries:
+    @pytest.fixture
+    def trace(self):
+        t = TraceRecorder()
+        t.record(1.0, 0x01, EventKind.ROUTE_ADDED, dst=5)
+        t.record(2.0, 0x02, EventKind.ROUTE_ADDED, dst=6)
+        t.record(3.0, 0x01, EventKind.ROUTE_REMOVED, dst=5)
+        return t
+
+    def test_filter_by_kind(self, trace):
+        assert len(trace.events(EventKind.ROUTE_ADDED)) == 2
+
+    def test_filter_by_node(self, trace):
+        assert len(trace.events(node=0x01)) == 2
+
+    def test_filter_by_window(self, trace):
+        assert len(trace.events(after=1.5, before=2.5)) == 1
+
+    def test_first_with_detail_match(self, trace):
+        event = trace.first(EventKind.ROUTE_ADDED, dst=6)
+        assert event is not None
+        assert event.node == 0x02
+        assert trace.first(EventKind.ROUTE_ADDED, dst=99) is None
+
+    def test_clear_keeps_counters(self, trace):
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.count(EventKind.ROUTE_ADDED) == 2
+
+
+class TestListeners:
+    def test_subscriber_sees_live_events(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(1.0, 0x01, EventKind.HELLO_SENT)
+        assert len(seen) == 1
+        assert seen[0].kind is EventKind.HELLO_SENT
+
+    def test_repr_readable(self):
+        trace = TraceRecorder()
+        trace.record(1.5, 0x0A, EventKind.DATA_NO_ROUTE, dst=3)
+        assert "data_no_route" in repr(trace.events()[0])

@@ -1,0 +1,72 @@
+"""Tests for connectivity-graph analysis."""
+
+import pytest
+
+from repro.phy.link import LinkBudget
+from repro.phy.modulation import LoRaParams, SpreadingFactor
+from repro.phy.pathloss import LogDistancePathLoss
+from repro.topology.graphs import connectivity_graph, graph_stats, hop_distance, is_connected
+from repro.topology.placement import line_positions
+
+
+@pytest.fixture
+def budget():
+    return LinkBudget(LogDistancePathLoss())
+
+
+class TestConnectivityGraph:
+    def test_line_is_a_path_graph(self, budget, params):
+        positions = line_positions(4, spacing_m=120.0)
+        graph = connectivity_graph(positions, budget, params)
+        assert set(graph.edges()) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_close_spacing_adds_skip_edges(self, budget, params):
+        positions = line_positions(4, spacing_m=60.0)
+        graph = connectivity_graph(positions, budget, params)
+        assert graph.has_edge(0, 2)
+
+    def test_higher_sf_connects_farther(self, budget):
+        positions = line_positions(3, spacing_m=250.0)
+        sf7 = connectivity_graph(positions, budget, LoRaParams())
+        sf12 = connectivity_graph(
+            positions, budget, LoRaParams(spreading_factor=SpreadingFactor.SF12)
+        )
+        assert sf7.number_of_edges() == 0
+        assert sf12.number_of_edges() >= 2
+
+    def test_edges_carry_snr(self, budget, params):
+        graph = connectivity_graph(line_positions(2, spacing_m=100.0), budget, params)
+        assert graph.edges[0, 1]["snr_db"] > -7.5
+
+
+class TestStats:
+    def test_connected_line(self, budget, params):
+        positions = line_positions(5, spacing_m=120.0)
+        assert is_connected(positions, budget, params)
+        stats = graph_stats(connectivity_graph(positions, budget, params))
+        assert stats.connected
+        assert stats.diameter == 4
+        assert stats.components == 1
+
+    def test_partitioned_placement(self, budget, params):
+        positions = [(0.0, 0.0), (80.0, 0.0), (5000.0, 0.0)]
+        assert not is_connected(positions, budget, params)
+        stats = graph_stats(connectivity_graph(positions, budget, params))
+        assert not stats.connected
+        assert stats.components == 2
+        assert stats.diameter == -1
+
+    def test_mean_degree(self, budget, params):
+        stats = graph_stats(connectivity_graph(line_positions(3, spacing_m=120.0), budget, params))
+        assert stats.mean_degree == pytest.approx(4 / 3)
+
+
+class TestHopDistance:
+    def test_hops_along_line(self, budget, params):
+        positions = line_positions(5, spacing_m=120.0)
+        assert hop_distance(positions, budget, params, 0, 4) == 4
+        assert hop_distance(positions, budget, params, 0, 1) == 1
+
+    def test_unreachable_is_minus_one(self, budget, params):
+        positions = [(0.0, 0.0), (5000.0, 0.0)]
+        assert hop_distance(positions, budget, params, 0, 1) == -1

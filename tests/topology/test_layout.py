@@ -1,0 +1,110 @@
+"""Tests for deployment layout files."""
+
+import json
+
+import pytest
+
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.phy.modulation import SpreadingFactor
+from repro.topology.layout import (
+    Layout,
+    LayoutError,
+    LayoutNode,
+    layout_from_dict,
+    load_layout,
+    save_layout,
+)
+
+DOC = {
+    "name": "office",
+    "spreading_factor": 9,
+    "nodes": [
+        {"x": 0, "y": 0, "name": "sink", "gateway": True},
+        {"x": 110, "y": 5, "name": "lab-a"},
+        {"x": 220, "y": -3},
+    ],
+}
+
+
+class TestParsing:
+    def test_from_dict(self):
+        layout = layout_from_dict(DOC)
+        assert layout.name == "office"
+        assert layout.spreading_factor is SpreadingFactor.SF9
+        assert len(layout) == 3
+        assert layout.nodes[0].gateway
+        assert layout.nodes[2].name == ""
+
+    def test_positions_and_gateways(self):
+        layout = layout_from_dict(DOC)
+        assert layout.positions() == [(0.0, 0.0), (110.0, 5.0), (220.0, -3.0)]
+        assert layout.gateway_indices() == [0]
+
+    def test_default_sf7(self):
+        layout = layout_from_dict({"nodes": [{"x": 0, "y": 0}]})
+        assert layout.spreading_factor is SpreadingFactor.SF7
+
+    def test_missing_nodes_rejected(self):
+        with pytest.raises(LayoutError):
+            layout_from_dict({"name": "empty"})
+        with pytest.raises(LayoutError):
+            layout_from_dict({"nodes": []})
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(LayoutError):
+            layout_from_dict({"nodes": [{"x": 0}]})
+        with pytest.raises(LayoutError):
+            layout_from_dict({"nodes": ["not an object"]})
+
+    def test_bad_sf_rejected(self):
+        with pytest.raises(LayoutError):
+            layout_from_dict({"nodes": [{"x": 0, "y": 0}], "spreading_factor": 6})
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(LayoutError):
+            layout_from_dict({"version": 99, "nodes": [{"x": 0, "y": 0}]})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(LayoutError):
+            layout_from_dict(["not", "an", "object"])
+
+
+class TestFiles:
+    def test_roundtrip(self, tmp_path):
+        layout = layout_from_dict(DOC)
+        path = save_layout(layout, tmp_path / "office.json")
+        loaded = load_layout(path)
+        assert loaded == layout
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(LayoutError):
+            load_layout(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(LayoutError):
+            load_layout(path)
+
+    def test_default_name_from_filename(self, tmp_path):
+        path = tmp_path / "floor3.json"
+        path.write_text(json.dumps({"nodes": [{"x": 0, "y": 0}]}))
+        assert load_layout(path).name == "floor3"
+
+
+class TestIntegration:
+    def test_layout_drives_a_network(self):
+        layout = layout_from_dict(
+            {
+                "nodes": [{"x": 0, "y": 0}, {"x": 110, "y": 0}, {"x": 220, "y": 0}],
+                "spreading_factor": 7,
+            }
+        )
+        config = MesherConfig(
+            hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0,
+            lora=layout.params(),
+        )
+        net = MeshNetwork.from_positions(layout.positions(), config=config, seed=1)
+        assert net.run_until_converged(timeout_s=1800.0) is not None
+        assert net.nodes[0].table.metric(net.addresses[2]) == 2

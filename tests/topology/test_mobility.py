@@ -1,0 +1,97 @@
+"""Tests for failure schedules and mobility."""
+
+import pytest
+
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.topology.mobility import FailureSchedule, RandomWaypoint
+from repro.topology.placement import line_positions
+
+FAST = MesherConfig(hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0)
+
+
+class TestFailureSchedule:
+    def test_fail_at_kills_node(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST)
+        schedule = FailureSchedule(net.sim)
+        schedule.fail_at(100.0, net.nodes[1])
+        net.run(for_s=200.0)
+        assert not net.nodes[1].radio.powered
+
+    def test_recover_at_revives_node(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST)
+        schedule = FailureSchedule(net.sim)
+        schedule.fail_at(100.0, net.nodes[1])
+        schedule.recover_at(200.0, net.nodes[1])
+        net.run(for_s=400.0)
+        assert net.nodes[1].radio.powered
+        assert net.nodes[0].table.has_route(net.addresses[1])
+
+    def test_past_event_rejected(self):
+        net = MeshNetwork.from_positions(line_positions(2), config=FAST)
+        net.run(for_s=100.0)
+        schedule = FailureSchedule(net.sim)
+        with pytest.raises(ValueError):
+            schedule.fail_at(50.0, net.nodes[0])
+
+    def test_events_recorded(self):
+        net = MeshNetwork.from_positions(line_positions(2), config=FAST)
+        schedule = FailureSchedule(net.sim)
+        schedule.fail_at(10.0, net.nodes[0])
+        assert schedule.events == [(10.0, "fail", net.addresses[0])]
+
+
+class TestRandomWaypoint:
+    def test_node_moves(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST)
+        node = net.nodes[1]
+        start = node.radio.position
+        walker = RandomWaypoint(
+            net.sim, node, area=(0.0, 0.0, 500.0, 500.0), speed_mps=5.0, pause_s=1.0
+        )
+        walker.start()
+        net.run(for_s=120.0)
+        assert node.radio.position != start
+
+    def test_stays_in_area(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST)
+        node = net.nodes[1]
+        walker = RandomWaypoint(
+            net.sim, node, area=(0.0, 0.0, 200.0, 200.0), speed_mps=10.0, pause_s=0.5
+        )
+        walker.start()
+        for _ in range(20):
+            net.run(for_s=30.0)
+            x, y = node.radio.position
+            assert -1e-6 <= x <= 200.0 + 1e-6
+            assert -1e-6 <= y <= 200.0 + 1e-6
+
+    def test_stop_freezes(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST)
+        node = net.nodes[1]
+        walker = RandomWaypoint(net.sim, node, area=(0.0, 0.0, 500.0, 500.0), speed_mps=5.0)
+        walker.start()
+        net.run(for_s=60.0)
+        walker.stop()
+        frozen = node.radio.position
+        net.run(for_s=60.0)
+        assert node.radio.position == frozen
+
+    def test_legs_counted(self):
+        net = MeshNetwork.from_positions(line_positions(2, spacing_m=80.0), config=FAST)
+        walker = RandomWaypoint(
+            net.sim, net.nodes[1], area=(0.0, 0.0, 50.0, 50.0), speed_mps=20.0, pause_s=0.1
+        )
+        walker.start()
+        net.run(for_s=300.0)
+        assert walker.legs_completed > 1
+
+    def test_degenerate_area_rejected(self):
+        net = MeshNetwork.from_positions(line_positions(2), config=FAST)
+        with pytest.raises(ValueError):
+            RandomWaypoint(net.sim, net.nodes[0], area=(0.0, 0.0, 0.0, 100.0))
+
+    def test_invalid_speed_rejected(self):
+        net = MeshNetwork.from_positions(line_positions(2), config=FAST)
+        with pytest.raises(ValueError):
+            RandomWaypoint(net.sim, net.nodes[0], area=(0.0, 0.0, 1.0, 1.0), speed_mps=0.0)

@@ -1,0 +1,106 @@
+"""Tests for placement generators."""
+
+import math
+import random
+
+import pytest
+
+from repro.topology.placement import (
+    bounding_box,
+    campus_positions,
+    grid_positions,
+    line_positions,
+    random_positions,
+    ring_positions,
+)
+
+
+class TestLine:
+    def test_count_and_spacing(self):
+        positions = line_positions(4, spacing_m=100.0)
+        assert len(positions) == 4
+        assert positions[2] == (200.0, 0.0)
+
+    def test_single_node(self):
+        assert line_positions(1) == [(0.0, 0.0)]
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            line_positions(0)
+
+
+class TestGrid:
+    def test_rows_times_cols(self):
+        positions = grid_positions(3, 4, spacing_m=10.0)
+        assert len(positions) == 12
+        assert positions[-1] == (30.0, 20.0)
+
+    def test_unique_positions(self):
+        positions = grid_positions(5, 5)
+        assert len(set(positions)) == 25
+
+
+class TestRing:
+    def test_on_circle(self):
+        positions = ring_positions(8, radius_m=100.0)
+        for x, y in positions:
+            assert math.hypot(x, y) == pytest.approx(100.0)
+
+    def test_evenly_spaced(self):
+        positions = ring_positions(4, radius_m=100.0)
+        d01 = math.dist(positions[0], positions[1])
+        d12 = math.dist(positions[1], positions[2])
+        assert d01 == pytest.approx(d12)
+
+
+class TestRandom:
+    def test_respects_bounds_and_count(self):
+        rng = random.Random(1)
+        positions = random_positions(20, width_m=500.0, height_m=300.0, rng=rng)
+        assert len(positions) == 20
+        assert all(0 <= x <= 500 and 0 <= y <= 300 for x, y in positions)
+
+    def test_minimum_separation(self):
+        rng = random.Random(2)
+        positions = random_positions(
+            15, width_m=1000.0, height_m=1000.0, rng=rng, min_separation_m=50.0
+        )
+        for i, a in enumerate(positions):
+            for b in positions[i + 1 :]:
+                assert math.dist(a, b) >= 50.0
+
+    def test_deterministic_given_rng(self):
+        a = random_positions(5, width_m=100.0, height_m=100.0, rng=random.Random(3))
+        b = random_positions(5, width_m=100.0, height_m=100.0, rng=random.Random(3))
+        assert a == b
+
+    def test_impossible_density_raises(self):
+        with pytest.raises(RuntimeError):
+            random_positions(
+                100, width_m=10.0, height_m=10.0, rng=random.Random(4), min_separation_m=50.0
+            )
+
+
+class TestCampus:
+    def test_cluster_structure(self):
+        positions = campus_positions(3, 4, cluster_spread_m=20.0, cluster_distance_m=200.0)
+        assert len(positions) == 12
+        # Members stay within their cluster's spread radius.
+        for c in range(3):
+            centre = (c * 200.0, 0.0)
+            for member in positions[c * 4 : (c + 1) * 4]:
+                assert math.dist(member, centre) <= 10.0 + 1e-9
+
+    def test_deterministic_with_rng(self):
+        a = campus_positions(2, 2, rng=random.Random(5))
+        b = campus_positions(2, 2, rng=random.Random(5))
+        assert a == b
+
+
+class TestBoundingBox:
+    def test_box(self):
+        assert bounding_box([(1.0, 2.0), (-3.0, 4.0)]) == (-3.0, 2.0, 1.0, 4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

@@ -1,0 +1,72 @@
+"""Tests for SF deployment planning."""
+
+import pytest
+
+from repro.phy.link import LinkBudget
+from repro.phy.modulation import SpreadingFactor
+from repro.phy.pathloss import LogDistancePathLoss
+from repro.topology.planning import evaluate_sf, minimum_connecting_sf, plan_all_sfs
+from repro.topology.placement import line_positions
+
+
+@pytest.fixture
+def budget():
+    return LinkBudget(LogDistancePathLoss())
+
+
+class TestEvaluate:
+    def test_dense_line_connected_at_sf7(self, budget):
+        plan = evaluate_sf(line_positions(4, spacing_m=100.0), budget, SpreadingFactor.SF7)
+        assert plan.connected
+        assert plan.diameter == 3
+
+    def test_sparse_line_needs_higher_sf(self, budget):
+        positions = line_positions(4, spacing_m=250.0)
+        sf7 = evaluate_sf(positions, budget, SpreadingFactor.SF7)
+        sf12 = evaluate_sf(positions, budget, SpreadingFactor.SF12)
+        assert not sf7.connected
+        assert sf12.connected
+
+    def test_airtime_reported(self, budget):
+        plan = evaluate_sf(line_positions(2), budget, SpreadingFactor.SF9)
+        assert plan.frame_toa_s == pytest.approx(0.2058, rel=1e-2)
+
+
+class TestMinimumSf:
+    def test_picks_lowest_connecting(self, budget):
+        # 250 m spacing: SF7 (135 m) fails; SF9 (~225 m) fails; SF10+ works.
+        positions = line_positions(3, spacing_m=250.0)
+        sf = minimum_connecting_sf(positions, budget)
+        assert sf is not None
+        assert sf > SpreadingFactor.SF7
+        assert evaluate_sf(positions, budget, sf).connected
+        previous = SpreadingFactor(int(sf) - 1)
+        assert not evaluate_sf(positions, budget, previous).connected
+
+    def test_dense_placement_gets_sf7(self, budget):
+        assert minimum_connecting_sf(line_positions(4, spacing_m=80.0), budget) is SpreadingFactor.SF7
+
+    def test_impossible_placement_returns_none(self, budget):
+        positions = [(0.0, 0.0), (50_000.0, 0.0)]
+        assert minimum_connecting_sf(positions, budget) is None
+
+    def test_single_node_trivially_connected(self, budget):
+        assert minimum_connecting_sf([(0.0, 0.0)], budget) is SpreadingFactor.SF7
+
+
+class TestPlanAll:
+    def test_covers_every_sf_in_order(self, budget):
+        plans = plan_all_sfs(line_positions(2), budget)
+        assert [p.spreading_factor for p in plans] == list(SpreadingFactor)
+
+    def test_connectivity_monotone_in_sf(self, budget):
+        # Once connected at some SF, every higher SF stays connected.
+        plans = plan_all_sfs(line_positions(4, spacing_m=200.0), budget)
+        flags = [p.connected for p in plans]
+        first_true = flags.index(True) if True in flags else len(flags)
+        assert all(flags[first_true:])
+
+    def test_airtime_monotone_in_sf(self, budget):
+        plans = plan_all_sfs(line_positions(2), budget)
+        toas = [p.frame_toa_s for p in plans]
+        assert all(b > a for a, b in zip(toas, toas[1:]))

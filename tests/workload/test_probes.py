@@ -1,0 +1,43 @@
+"""Tests for probe payload encoding."""
+
+import pytest
+
+from repro.workload.probes import PROBE_OVERHEAD, is_probe, make_probe, parse_probe
+
+
+class TestProbes:
+    def test_roundtrip(self):
+        payload = make_probe(0x0A0B, 17, 123.456)
+        probe = parse_probe(payload)
+        assert probe.src == 0x0A0B
+        assert probe.seq == 17
+        assert probe.sent_at == 123.456
+        assert probe.size == PROBE_OVERHEAD
+
+    def test_padding_to_size(self):
+        payload = make_probe(1, 0, 0.0, size=64)
+        assert len(payload) == 64
+        assert parse_probe(payload).size == 64
+
+    def test_too_small_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_probe(1, 0, 0.0, size=PROBE_OVERHEAD - 1)
+
+    def test_non_probe_rejected(self):
+        with pytest.raises(ValueError):
+            parse_probe(b"just some bytes that are long enough")
+
+    def test_is_probe(self):
+        assert is_probe(make_probe(1, 2, 3.0))
+        assert not is_probe(b"nope")
+        assert not is_probe(b"")
+
+    def test_timestamp_precision(self):
+        # Double precision: microsecond-scale latencies survive.
+        payload = make_probe(1, 0, 1234.000001)
+        assert parse_probe(payload).sent_at == 1234.000001
+
+    def test_large_seq_and_src(self):
+        probe = parse_probe(make_probe(0xFFFE, 2**31, 0.0))
+        assert probe.seq == 2**31
+        assert probe.src == 0xFFFE

@@ -1,0 +1,110 @@
+"""Tests for the canonical scenario library."""
+
+import pytest
+
+from repro.experiments.runner import Protocol, run_protocol
+from repro.net.config import MesherConfig
+from repro.phy.link import LinkBudget
+from repro.phy.modulation import LoRaParams
+from repro.phy.pathloss import LogDistancePathLoss
+from repro.topology.graphs import connectivity_graph, graph_stats, hop_distance
+from repro.workload.scenarios import (
+    SCENARIOS,
+    campus,
+    demo_line,
+    dense_cell,
+    diamond,
+    get_scenario,
+    hidden_terminals,
+    sensor_grid,
+)
+
+BUDGET = LinkBudget(LogDistancePathLoss())
+PARAMS = LoRaParams()
+FAST = MesherConfig(hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0)
+
+
+def stats_of(scenario):
+    return graph_stats(connectivity_graph(scenario.positions, BUDGET, PARAMS))
+
+
+class TestGeometryInvariants:
+    """Every scenario's documented radio structure actually holds."""
+
+    def test_demo_line_is_a_chain(self):
+        scenario = demo_line(5)
+        graph = connectivity_graph(scenario.positions, BUDGET, PARAMS)
+        assert set(graph.edges()) == {(0, 1), (1, 2), (2, 3), (3, 4)}
+
+    def test_diamond_has_two_disjoint_paths(self):
+        scenario = diamond()
+        graph = connectivity_graph(scenario.positions, BUDGET, PARAMS)
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 3)
+        assert graph.has_edge(0, 2) and graph.has_edge(2, 3)
+        assert not graph.has_edge(0, 3)
+
+    def test_dense_cell_is_complete(self):
+        scenario = dense_cell(6)
+        stats = stats_of(scenario)
+        assert stats.edges == 6 * 5 // 2  # complete graph
+
+    def test_sensor_grid_diagonals_out_of_range(self):
+        scenario = sensor_grid(3, 3)
+        graph = connectivity_graph(scenario.positions, BUDGET, PARAMS)
+        assert not graph.has_edge(0, 4)  # corner-centre diagonal: 141 m
+        assert graph.has_edge(0, 1)
+
+    def test_campus_connected_but_multihop(self):
+        scenario = campus()
+        stats = stats_of(scenario)
+        assert stats.connected
+        assert stats.diameter >= 3
+
+    def test_hidden_terminals_structure(self):
+        scenario = hidden_terminals()
+        graph = connectivity_graph(scenario.positions, BUDGET, PARAMS)
+        assert not graph.has_edge(0, 1)
+        assert graph.has_edge(0, 2) and graph.has_edge(1, 2)
+
+
+class TestFlows:
+    def test_flow_indices_in_range(self):
+        for name in SCENARIOS:
+            scenario = get_scenario(name)
+            for flow in scenario.flows:
+                assert 0 <= flow.src_index < scenario.n_nodes
+                assert 0 <= flow.dst_index < scenario.n_nodes
+
+    def test_demo_line_flows_are_end_to_end(self):
+        scenario = demo_line(4)
+        pairs = {(f.src_index, f.dst_index) for f in scenario.flows}
+        assert pairs == {(0, 3), (3, 0)}
+
+
+class TestRegistry:
+    def test_all_registered_scenarios_build(self):
+        for name in SCENARIOS:
+            scenario = get_scenario(name)
+            assert scenario.n_nodes >= 3
+            assert scenario.description
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            get_scenario("nope")
+
+    def test_kwargs_forwarded(self):
+        assert get_scenario("demo_line", n=6).n_nodes == 6
+
+
+class TestRunnable:
+    def test_scenario_feeds_the_harness(self):
+        scenario = diamond()
+        result = run_protocol(
+            Protocol.MESH,
+            list(scenario.positions),
+            list(scenario.flows),
+            duration_s=600.0,
+            seed=1,
+            config=FAST,
+        )
+        assert result.pdr > 0.9

@@ -1,0 +1,118 @@
+"""Tests for traffic generators."""
+
+import random
+
+import pytest
+
+from repro.workload.probes import parse_probe
+from repro.workload.traffic import PeriodicSender, PoissonSender
+
+
+class Collector:
+    """Captures send() calls and listener reports."""
+
+    def __init__(self, accept=True):
+        self.sent_payloads = []
+        self.reports = []
+        self.accept = accept
+
+    def send(self, dst, payload):
+        self.sent_payloads.append((dst, payload))
+        return self.accept
+
+    def sent(self, src, dst, seq, time, size):
+        self.reports.append((src, dst, seq, time, size))
+
+
+class TestPeriodicSender:
+    def test_steady_rate(self, sim):
+        c = Collector()
+        PeriodicSender(
+            sim, 1, 2, c.send, period_s=10.0, jitter_fraction=0.0, start_delay_s=5.0
+        )
+        sim.run(until=100.0)
+        assert len(c.sent_payloads) == 10  # t = 5, 15, ..., 95
+
+    def test_payloads_are_valid_probes_with_increasing_seq(self, sim):
+        c = Collector()
+        PeriodicSender(sim, 1, 2, c.send, period_s=10.0, start_delay_s=0.0, jitter_fraction=0.0)
+        sim.run(until=35.0)
+        seqs = [parse_probe(p).seq for _, p in c.sent_payloads]
+        assert seqs == [0, 1, 2, 3]
+
+    def test_listener_reports_every_send(self, sim):
+        c = Collector()
+        PeriodicSender(
+            sim, 1, 2, c.send, period_s=10.0, listener=c, start_delay_s=0.0, jitter_fraction=0.0
+        )
+        sim.run(until=25.0)
+        assert len(c.reports) == 3
+        assert c.reports[0][:3] == (1, 2, 0)
+
+    def test_stop_halts_generation(self, sim):
+        c = Collector()
+        sender = PeriodicSender(sim, 1, 2, c.send, period_s=10.0, start_delay_s=0.0)
+        sim.run(until=15.0)
+        sender.stop()
+        sim.run(until=200.0)
+        assert sender.sent_count == 2
+
+    def test_max_packets_cap(self, sim):
+        c = Collector()
+        sender = PeriodicSender(
+            sim, 1, 2, c.send, period_s=1.0, start_delay_s=0.0, max_packets=5
+        )
+        sim.run(until=100.0)
+        assert sender.sent_count == 5
+
+    def test_refused_sends_counted(self, sim):
+        c = Collector(accept=False)
+        sender = PeriodicSender(sim, 1, 2, c.send, period_s=10.0, start_delay_s=0.0)
+        sim.run(until=35.0)
+        assert sender.refused_count == sender.sent_count == 4
+
+    def test_payload_size_respected(self, sim):
+        c = Collector()
+        PeriodicSender(sim, 1, 2, c.send, period_s=10.0, payload_size=48, start_delay_s=0.0)
+        sim.run(until=5.0)
+        assert len(c.sent_payloads[0][1]) == 48
+
+    def test_invalid_period_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicSender(sim, 1, 2, lambda d, p: True, period_s=0.0)
+
+    def test_too_small_payload_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicSender(sim, 1, 2, lambda d, p: True, period_s=1.0, payload_size=2)
+
+
+class TestPoissonSender:
+    def test_mean_rate_approximates_target(self, sim):
+        c = Collector()
+        PoissonSender(sim, 1, 2, c.send, mean_interval_s=10.0, rng=random.Random(7))
+        sim.run(until=10_000.0)
+        # ~1000 expected; Poisson sd ~32, allow generous bounds.
+        assert 850 <= len(c.sent_payloads) <= 1150
+
+    def test_intervals_vary(self, sim):
+        times = []
+        PoissonSender(
+            sim, 1, 2, lambda d, p: times.append(sim.now) or True,
+            mean_interval_s=5.0, rng=random.Random(1),
+        )
+        sim.run(until=200.0)
+        gaps = {round(b - a, 6) for a, b in zip(times, times[1:])}
+        assert len(gaps) > 1
+
+    def test_stop_halts(self, sim):
+        c = Collector()
+        sender = PoissonSender(sim, 1, 2, c.send, mean_interval_s=1.0, rng=random.Random(2))
+        sim.run(until=10.0)
+        sender.stop()
+        count = sender.sent_count
+        sim.run(until=100.0)
+        assert sender.sent_count == count
+
+    def test_invalid_interval_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PoissonSender(sim, 1, 2, lambda d, p: True, mean_interval_s=0.0, rng=random.Random(0))
