@@ -12,7 +12,8 @@ queueing per hop).
 
 import pytest
 
-from benchmarks.conftest import BENCH_CONFIG
+from benchmarks.conftest import BENCH_CONFIG, export_bench_json
+from repro.experiments.export import run_result_summary
 from repro.experiments.report import print_table
 from repro.experiments.runner import Protocol, TrafficSpec, run_protocol
 from repro.topology.placement import line_positions
@@ -25,7 +26,8 @@ def run_hops(hops: int, seed: int):
         TrafficSpec(src_index=hops, dst_index=0, period_s=60.0),
     ]
     return run_protocol(
-        Protocol.MESH, positions, traffic, duration_s=1800.0, seed=seed, config=BENCH_CONFIG
+        Protocol.MESH, positions, traffic, duration_s=1800.0, seed=seed, config=BENCH_CONFIG,
+        sample_period_s=300.0,
     )
 
 
@@ -61,3 +63,17 @@ def test_e2_pdr_and_latency_vs_hops(benchmark):
     assert results[5].mean_latency_s > results[1].mean_latency_s
     # Routers really forwarded: ~ (hops-1) forwards per delivered probe pair.
     assert sum(n.stats.data_forwarded for n in results[3].network.nodes) > 0
+
+    # Machine-readable export with the sampled time series per hop count.
+    document = {
+        "bench": "e2_multihop",
+        "runs": {str(hops): run_result_summary(r) for hops, r in results.items()},
+    }
+    for summary in document["runs"].values():
+        series = summary["timeseries"]["samples"]
+        assert len(series) >= 2
+        # Network frame counters only move forward over the trajectory.
+        frames = [point["values"]["repro_network_frames_total"] for point in series]
+        assert frames == sorted(frames)
+    path = export_bench_json("e2_multihop", document)
+    print(f"\ntime-series document: {path}")

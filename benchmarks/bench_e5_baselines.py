@@ -10,7 +10,8 @@ gets 0%; the mesh spends less airtime per delivered byte than flooding;
 the oracle's PDR upper-bounds the mesh within a few points.
 """
 
-from benchmarks.conftest import BENCH_CONFIG
+from benchmarks.conftest import BENCH_CONFIG, export_bench_json
+from repro.experiments.export import run_result_summary
 from repro.experiments.report import print_table
 from repro.experiments.runner import Protocol, TrafficSpec, run_protocol
 from repro.topology.placement import grid_positions
@@ -39,6 +40,7 @@ def run_all(seed: int):
             duration_s=1800.0,
             seed=seed,
             config=BENCH_CONFIG,
+            sample_period_s=300.0,
         )
     return out
 
@@ -85,3 +87,14 @@ def test_e5_protocol_comparison(benchmark):
     )
     # And flooding puts strictly more copies of each packet on the air.
     assert flood.overhead.frames_sent > oracle.overhead.frames_sent
+
+    # Machine-readable export: every protocol's scalar row plus its
+    # sampled PDR/airtime trajectory over the run.
+    document = {
+        "bench": "e5_baselines",
+        "runs": {p.value: run_result_summary(r) for p, r in results.items()},
+    }
+    for summary in document["runs"].values():
+        assert len(summary["timeseries"]["samples"]) >= 2
+    path = export_bench_json("e5_baselines", document)
+    print(f"\ntime-series document: {path}")

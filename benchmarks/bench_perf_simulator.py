@@ -70,6 +70,37 @@ def test_perf_mesh_simulated_hour(benchmark):
     assert frames > 0
 
 
+def test_perf_kernel_hotspot_attribution(benchmark):
+    """Where the wall-clock actually goes: the profiler's hot-spot table.
+
+    This is the baseline every future performance PR cites — optimise
+    the handlers at the top of this table, re-run, and compare shares.
+    """
+    from repro.obs import KernelProfiler
+
+    def run_profiled():
+        net = MeshNetwork.from_positions(
+            grid_positions(3, 3, spacing_m=100.0),
+            config=BENCH_CONFIG,
+            seed=1,
+            trace_enabled=False,
+        )
+        profiler = KernelProfiler().attach(net.sim)
+        net.run(for_s=3600.0)
+        profiler.detach()
+        return profiler
+
+    profiler = benchmark.pedantic(run_profiled, rounds=1, iterations=1)
+    print()
+    print(profiler.format(limit=12))
+    spots = profiler.table()
+    assert spots, "a simulated hour must execute events"
+    assert profiler.total_events == sum(s.events for s in spots)
+    # The table is sorted hottest-first.
+    totals = [s.total_s for s in spots]
+    assert totals == sorted(totals, reverse=True)
+
+
 def test_perf_medium_resolution_dense_cell(benchmark):
     """Reception resolution with 16 listeners per frame."""
     from repro.medium.channel import Medium

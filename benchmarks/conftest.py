@@ -11,6 +11,10 @@ paper's tables; pytest-benchmark additionally reports wall-clock cost of
 the underlying simulation.
 """
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.net.config import MesherConfig
@@ -27,6 +31,23 @@ BENCH_CONFIG = MesherConfig(
 
 #: Seeds for repeated trials.
 SEEDS = [11, 22, 33]
+
+#: Where benches drop machine-readable results (override with
+#: ``REPRO_BENCH_RESULTS``); each bench writes ``BENCH_<name>.json``.
+RESULTS_DIR = Path(os.environ.get("REPRO_BENCH_RESULTS", "benchmarks/results"))
+
+
+def export_bench_json(name: str, payload: dict) -> Path:
+    """Write one bench's machine-readable document to the results dir.
+
+    Returns the written path.  Payloads embed ``timeseries`` fields when
+    the bench sampled its runs (see ``run_protocol(sample_period_s=...)``
+    and :func:`repro.experiments.export.run_result_summary`).
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
 
 
 @pytest.fixture

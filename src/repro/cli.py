@@ -87,7 +87,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     config = _config(args)
     if layout is not None:
         config = config.replace(lora=layout.params())
-    net = MeshNetwork.from_positions(positions, config=config, seed=args.seed, trace_enabled=False)
+    trace_path = getattr(args, "trace", None)
+    net = MeshNetwork.from_positions(
+        positions, config=config, seed=args.seed, trace_enabled=bool(trace_path)
+    )
     capture = None
     if args.capture:
         from repro.trace.capture import AirCapture
@@ -97,16 +100,23 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     remaining = args.duration - net.sim.now
     if remaining > 0:
         net.run(for_s=remaining)
+
+    # Per-node rows come from the metrics registry rather than ad-hoc
+    # attribute reads — the same instruments `repro monitor` samples.
+    from repro.obs import MetricsRegistry, instrument_network
+
+    registry = instrument_network(MetricsRegistry(), net)
     rows = []
     for node in net.nodes:
+        labels = {"node": node.name}
         rows.append(
             (
                 node.name,
-                node.table.size,
-                node.stats.frames_sent,
-                node.stats.data_forwarded,
-                f"{node.radio.tx_airtime_s:.2f}",
-                f"{node.duty.window_utilisation(net.sim.now) * 100:.3f}%",
+                int(registry.value("repro_node_routes", labels)),
+                int(registry.value("repro_node_frames_sent_total", labels)),
+                int(registry.value("repro_node_data_forwarded_total", labels)),
+                f"{registry.value('repro_node_tx_airtime_seconds_total', labels):.2f}",
+                f"{registry.value('repro_node_duty_utilisation', labels) * 100:.3f}%",
             )
         )
     print(
@@ -124,7 +134,86 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if capture is not None:
         path = capture.export_jsonl(args.capture)
         print(f"\nair capture: {len(capture)} frames written to {path}")
+    if trace_path:
+        path = net.trace.export_jsonl(trace_path)
+        print(f"\ntrace: {len(net.trace)} events written to {path}")
     return 0 if convergence is not None else 1
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Run a mesh while sampling health as a time series."""
+    from repro.metrics.health import network_health
+    from repro.obs import MetricsRegistry, TimeSeriesSampler, instrument_network
+
+    if args.interval <= 0:
+        print(f"error: --interval must be positive, got {args.interval:g}")
+        return 2
+    positions, layout = _resolve_positions(args)
+    config = _config(args)
+    if layout is not None:
+        config = config.replace(lora=layout.params())
+    net = MeshNetwork.from_positions(positions, config=config, seed=args.seed, trace_enabled=False)
+    registry = instrument_network(MetricsRegistry(), net)
+    sampler = TimeSeriesSampler(net.sim, registry, period_s=args.interval)
+    sampler.sample_now()  # t=0 baseline point
+    net.run(for_s=args.duration)
+    sampler.stop()
+
+    rows = []
+    for point in sampler.points:
+        values = point.values
+        depth = sum(v for k, v in values.items() if k.startswith("repro_node_queue_depth"))
+        worst_duty = max(
+            (v for k, v in values.items() if k.startswith("repro_node_duty_utilisation")),
+            default=0.0,
+        )
+        rows.append(
+            (
+                f"{point.time_s:.0f}",
+                f"{values.get('repro_network_coverage', 0.0) * 100:.1f}%",
+                int(values.get("repro_network_frames_total", 0)),
+                f"{values.get('repro_network_airtime_seconds_total', 0.0):.2f}",
+                int(depth),
+                f"{worst_duty * 100:.3f}%",
+            )
+        )
+    print(
+        format_table(
+            ["t (s)", "coverage", "frames", "airtime (s)", "queued", "worst duty"],
+            rows,
+            title=(
+                f"Sampled health: {args.topology} x{args.nodes}, "
+                f"every {args.interval:.0f} s over {args.duration:.0f} s"
+            ),
+        )
+    )
+    print()
+    print(network_health(net).format())
+    if args.csv:
+        print(f"\ntime series written to {sampler.export_csv(args.csv)}")
+    if args.jsonl:
+        print(f"\ntime series written to {sampler.export_jsonl(args.jsonl)}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run a mesh under the kernel profiler and print the hot spots."""
+    from repro.obs import KernelProfiler
+
+    positions, layout = _resolve_positions(args)
+    config = _config(args)
+    if layout is not None:
+        config = config.replace(lora=layout.params())
+    net = MeshNetwork.from_positions(positions, config=config, seed=args.seed, trace_enabled=False)
+    profiler = KernelProfiler().attach(net.sim)
+    net.run(for_s=args.duration)
+    profiler.detach()
+    print(profiler.format(limit=args.limit))
+    print(
+        f"\n{net.sim.events_fired} kernel events over {args.duration:.0f} simulated s "
+        f"({net.sim.events_fired / args.duration:.1f} events/sim-s)"
+    )
+    return 0
 
 
 def cmd_ping(args: argparse.Namespace) -> int:
@@ -236,7 +325,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--layout", metavar="PATH", default=None,
         help="run a JSON deployment layout instead of a generated topology",
     )
+    simulate.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record protocol trace events and write them to PATH as JSON lines",
+    )
     simulate.set_defaults(func=cmd_simulate)
+
+    monitor = sub.add_parser(
+        "monitor", help="run a mesh and stream sampled time-series health"
+    )
+    common(monitor)
+    monitor.add_argument("--nodes", type=int, default=4)
+    monitor.add_argument("--topology", choices=("line", "grid", "ring"), default="line")
+    monitor.add_argument("--spacing", type=float, default=120.0, help="node spacing (m)")
+    monitor.add_argument("--duration", type=float, default=1800.0, help="simulated seconds")
+    monitor.add_argument(
+        "--interval", type=float, default=120.0, help="sampling period (simulated s)"
+    )
+    monitor.add_argument(
+        "--csv", metavar="PATH", default=None, help="also export the time series as CSV"
+    )
+    monitor.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="also export the time series as JSON lines",
+    )
+    monitor.add_argument(
+        "--layout", metavar="PATH", default=None,
+        help="run a JSON deployment layout instead of a generated topology",
+    )
+    monitor.set_defaults(func=cmd_monitor)
+
+    profile = sub.add_parser(
+        "profile", help="profile the simulation kernel and print hot spots"
+    )
+    common(profile)
+    profile.add_argument("--nodes", type=int, default=8)
+    profile.add_argument("--topology", choices=("line", "grid", "ring"), default="grid")
+    profile.add_argument("--spacing", type=float, default=120.0, help="node spacing (m)")
+    profile.add_argument("--duration", type=float, default=1800.0, help="simulated seconds")
+    profile.add_argument("--limit", type=int, default=20, help="hot-spot rows to print")
+    profile.add_argument(
+        "--layout", metavar="PATH", default=None,
+        help="run a JSON deployment layout instead of a generated topology",
+    )
+    profile.set_defaults(func=cmd_profile)
 
     ping = sub.add_parser("ping", help="end-to-end reachability/RTT check")
     common(ping)

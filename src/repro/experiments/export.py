@@ -38,7 +38,20 @@ class ExperimentRecord:
 
 
 def run_result_summary(result: RunResult) -> Dict[str, Any]:
-    """The standard scalar summary of one RunResult."""
+    """The standard scalar summary of one RunResult.
+
+    When the run was sampled (``run_protocol(..., sample_period_s=...)``)
+    the summary additionally carries a ``timeseries`` key: the sampler's
+    period and every retained sample point, ready for plotting.
+    """
+    summary = _scalar_summary(result)
+    timeseries = result.timeseries
+    if timeseries is not None:
+        summary["timeseries"] = timeseries
+    return summary
+
+
+def _scalar_summary(result: RunResult) -> Dict[str, Any]:
     return {
         "protocol": result.protocol.value,
         "duration_s": result.duration_s,

@@ -23,6 +23,9 @@ from repro.baselines.star import StarNetwork
 from repro.metrics.collect import FlowRecorder, OverheadSummary, attach_recorder, overhead_summary
 from repro.net.api import MeshNetwork
 from repro.net.config import MesherConfig
+from repro.obs.instrument import instrument_flows, instrument_network
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import TimeSeriesSampler
 from repro.phy.modulation import LoRaParams
 from repro.phy.pathloss import PathLossModel, Position
 from repro.sim.rng import RngRegistry
@@ -67,6 +70,9 @@ class RunResult:
     duration_s: float
     convergence_time_s: Optional[float]
     overhead: OverheadSummary
+    #: Populated when ``run_protocol(..., sample_period_s=...)`` was given:
+    #: the sampler whose ring holds the run's health trajectory.
+    sampler: Optional[TimeSeriesSampler] = None
 
     @property
     def pdr(self) -> float:
@@ -78,6 +84,11 @@ class RunResult:
         """Mean delivery latency across flows (None if nothing arrived)."""
         latencies = self.recorder.all_latencies()
         return sum(latencies) / len(latencies) if latencies else None
+
+    @property
+    def timeseries(self) -> Optional[Dict]:
+        """JSON-ready sampled time series (None when sampling was off)."""
+        return self.sampler.to_dict() if self.sampler is not None else None
 
 
 def run_protocol(
@@ -94,6 +105,7 @@ def run_protocol(
     converge_timeout_s: float = 3600.0,
     drain_s: float = 120.0,
     star_gateway_index: Optional[int] = None,
+    sample_period_s: Optional[float] = None,
 ) -> RunResult:
     """Run one scenario and measure it.
 
@@ -102,10 +114,24 @@ def run_protocol(
     ``drain_s`` tail lets in-flight packets land.  FLOODING/STAR have no
     routing state and skip the warm-up; ORACLE starts converged by
     construction.
+
+    ``sample_period_s`` turns on the observability sampler: the run's
+    health (coverage, frames, airtime, queue pressure, PDR, ...) is
+    snapshotted every that many simulated seconds and returned on
+    ``RunResult.sampler`` / ``RunResult.timeseries``.
     """
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
     recorder = FlowRecorder()
+
+    def _attach_sampler(net) -> Optional[TimeSeriesSampler]:
+        if sample_period_s is None:
+            return None
+        registry = instrument_network(MetricsRegistry(), net)
+        instrument_flows(registry, recorder)
+        sampler = TimeSeriesSampler(net.sim, registry, period_s=sample_period_s)
+        sampler.sample_now()  # t=0 baseline point
+        return sampler
 
     if protocol in (Protocol.MESH, Protocol.ORACLE):
         if protocol is Protocol.MESH:
@@ -114,6 +140,7 @@ def run_protocol(
             )
         else:
             net = build_oracle_network(positions, config=config, seed=seed, pathloss=pathloss)
+        sampler = _attach_sampler(net)
         convergence = None
         if protocol is Protocol.MESH and converge_first:
             convergence = net.run_until_converged(timeout_s=converge_timeout_s)
@@ -126,6 +153,7 @@ def run_protocol(
         sim_now = net.sim.now
     elif protocol is Protocol.FLOODING:
         net = FloodingNetwork(positions, seed=seed, params=params, pathloss=pathloss)
+        sampler = _attach_sampler(net)
         convergence = 0.0
         senders = _attach_flood_traffic(net, traffic, recorder, seed)
         net.run(for_s=duration_s)
@@ -136,6 +164,7 @@ def run_protocol(
         sim_now = net.sim.now
     elif protocol is Protocol.AODV:
         net = AodvNetwork(positions, seed=seed, params=params, pathloss=pathloss)
+        sampler = _attach_sampler(net)
         convergence = 0.0  # reactive: no proactive convergence phase
         senders = _attach_flood_traffic(net, traffic, recorder, seed)  # same send() shape
         net.run(for_s=duration_s)
@@ -161,6 +190,7 @@ def run_protocol(
         net = StarNetwork(
             positions, seed=seed, params=params, pathloss=pathloss, gateway_index=gateway_index
         )
+        sampler = _attach_sampler(net)
         convergence = 0.0
         senders = _attach_star_traffic(net, traffic, recorder, seed)
         net.run(for_s=duration_s)
@@ -172,6 +202,10 @@ def run_protocol(
     else:  # pragma: no cover
         raise ValueError(f"unknown protocol {protocol}")
 
+    if sampler is not None:
+        sampler.stop()
+        sampler.sample_now()  # end-of-run point after the drain tail
+
     return RunResult(
         protocol=protocol,
         recorder=recorder,
@@ -179,6 +213,7 @@ def run_protocol(
         duration_s=duration_s,
         convergence_time_s=convergence,
         overhead=overhead_summary(nodes, recorder, now=sim_now),
+        sampler=sampler,
     )
 
 

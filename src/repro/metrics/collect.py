@@ -108,6 +108,17 @@ class FlowRecorder:
         sent = self.total_sent()
         return (self.total_delivered() / sent) if sent else 0.0
 
+    def delivered_bytes(self) -> int:
+        """Payload bytes of every uniquely delivered probe, across all
+        flows (a send whose seq was never delivered contributes 0)."""
+        total = 0
+        for key, sent in self._sent.items():
+            delivered = self._delivered.get(key)
+            if not delivered:
+                continue
+            total += sum(rec.size for seq, rec in sent.items() if seq in delivered)
+        return total
+
     def all_latencies(self) -> List[float]:
         """Every matched delivery latency, flattened."""
         return [lat for values in self._latencies.values() for lat in values]
@@ -148,14 +159,7 @@ def overhead_summary(nodes, recorder: Optional[FlowRecorder] = None, now: float 
     frames = sum(n.radio.frames_sent for n in nodes)
     tx_bytes = sum(n.radio.bytes_sent for n in nodes)
     airtime = sum(n.radio.tx_airtime_s for n in nodes)
-    delivered_bytes = 0
-    if recorder is not None:
-        for summary in recorder.flows():
-            key_sent = recorder._sent.get((summary.src, summary.dst), {})
-            delivered_seqs = recorder._delivered.get((summary.src, summary.dst), set())
-            delivered_bytes += sum(
-                rec.size for seq, rec in key_sent.items() if seq in delivered_seqs
-            )
+    delivered_bytes = recorder.delivered_bytes() if recorder is not None else 0
     per_byte = (airtime * 1000 / delivered_bytes) if delivered_bytes else float("inf")
     peak_duty = 0.0
     for node in nodes:

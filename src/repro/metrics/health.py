@@ -4,16 +4,24 @@ One call summarises a running :class:`~repro.net.api.MeshNetwork` the way
 an operator dashboard would: routing coverage, per-node protocol and
 radio counters, queue pressure, duty-cycle headroom, and energy.  Used by
 the CLI, handy at the end of any experiment.
+
+Since the observability layer landed, the snapshot is assembled from a
+:class:`~repro.obs.registry.MetricsRegistry` populated by
+:func:`~repro.obs.instrument.instrument_network` — the same instruments
+the time-series sampler and the Prometheus/JSONL exporters read — rather
+than by reaching into node attributes directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments.report import format_table
-from repro.metrics.energy import EnergyModel, TTGO_LORA32
+from repro.metrics.energy import EnergyModel
 from repro.net.api import MeshNetwork
+from repro.obs.instrument import instrument_network
+from repro.obs.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -76,36 +84,62 @@ class NetworkHealth:
         return table
 
 
+def _node_values(registry: MetricsRegistry) -> Dict[str, Dict[str, float]]:
+    """Snapshot the registry into ``{node_name: {metric: value}}``."""
+    by_node: Dict[str, Dict[str, float]] = {}
+    for sample in registry.snapshot():
+        labels = dict(sample.labels)
+        node = labels.get("node")
+        if node is not None:
+            by_node.setdefault(node, {})[sample.name] = sample.value
+    return by_node
+
+
+def health_from_registry(
+    registry: MetricsRegistry, *, time_s: float, node_order: Optional[List[str]] = None
+) -> NetworkHealth:
+    """Build a :class:`NetworkHealth` from an instrumented registry.
+
+    ``node_order`` fixes the row order (defaults to sorted node labels).
+    """
+    by_node = _node_values(registry)
+    names = node_order if node_order is not None else sorted(by_node)
+    nodes = []
+    for name in names:
+        values = by_node.get(name, {})
+        nodes.append(
+            NodeHealth(
+                name=name,
+                routes=int(values.get("repro_node_routes", 0)),
+                neighbours=int(values.get("repro_node_neighbours", 0)),
+                frames_sent=int(values.get("repro_node_frames_sent_total", 0)),
+                forwarded=int(values.get("repro_node_data_forwarded_total", 0)),
+                delivered=int(values.get("repro_node_data_delivered_total", 0)),
+                no_route_drops=int(values.get("repro_node_no_route_drops_total", 0)),
+                crc_failures=int(values.get("repro_node_crc_failures_total", 0)),
+                queue_depth=int(values.get("repro_node_queue_depth", 0)),
+                queue_drops=int(values.get("repro_node_queue_drops_total", 0)),
+                duty_utilisation=values.get("repro_node_duty_utilisation", 0.0),
+                tx_airtime_s=values.get("repro_node_tx_airtime_seconds_total", 0.0),
+                energy_j=values.get("repro_node_energy_joules_total", 0.0),
+            )
+        )
+    return NetworkHealth(
+        time_s=time_s,
+        nodes=nodes,
+        coverage=registry.value("repro_network_coverage"),
+        total_frames=int(registry.value("repro_network_frames_total")),
+        total_airtime_s=registry.value("repro_network_airtime_seconds_total"),
+        worst_duty=max((n.duty_utilisation for n in nodes), default=0.0),
+    )
+
+
 def network_health(
     net: MeshNetwork, *, energy_model: Optional[EnergyModel] = None
 ) -> NetworkHealth:
     """Snapshot the health of every node in the network."""
-    model = energy_model or TTGO_LORA32
-    now = net.sim.now
-    nodes = []
-    for node in net.nodes:
-        nodes.append(
-            NodeHealth(
-                name=node.name,
-                routes=node.table.size,
-                neighbours=len(node.table.neighbours()),
-                frames_sent=node.stats.frames_sent,
-                forwarded=node.stats.data_forwarded,
-                delivered=node.stats.data_delivered,
-                no_route_drops=node.stats.no_route_drops,
-                crc_failures=node.stats.crc_failures,
-                queue_depth=len(node.send_queue),
-                queue_drops=node.send_queue.dropped,
-                duty_utilisation=node.duty.window_utilisation(now),
-                tx_airtime_s=node.radio.tx_airtime_s,
-                energy_j=model.radio_energy_j(node.radio),
-            )
-        )
-    return NetworkHealth(
-        time_s=now,
-        nodes=nodes,
-        coverage=net.coverage(),
-        total_frames=net.total_frames_sent(),
-        total_airtime_s=net.total_airtime_s(),
-        worst_duty=max((n.duty_utilisation for n in nodes), default=0.0),
+    registry = MetricsRegistry()
+    instrument_network(registry, net, energy_model=energy_model)
+    return health_from_registry(
+        registry, time_s=net.sim.now, node_order=[n.name for n in net.nodes]
     )

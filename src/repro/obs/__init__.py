@@ -1,0 +1,69 @@
+"""Unified observability: metrics, time series, profiling, export.
+
+The paper's demo is observed through a serial console; this layer is the
+reproduction's equivalent of a proper telemetry stack:
+
+* :mod:`repro.obs.registry` — typed instruments (:class:`Counter`,
+  :class:`Gauge`, :class:`Histogram`) in a :class:`MetricsRegistry`,
+* :mod:`repro.obs.instrument` — binds live nodes/queues/radios/networks
+  into a registry with callback-backed instruments,
+* :mod:`repro.obs.sampler` — a kernel process that snapshots the
+  registry every N simulated seconds into an exportable time series,
+* :mod:`repro.obs.profiler` — wall-clock attribution per event handler
+  (the baseline every performance PR cites),
+* :mod:`repro.obs.export` — Prometheus text and JSONL exposition.
+
+Quickstart::
+
+    from repro.obs import MetricsRegistry, TimeSeriesSampler, instrument_network
+
+    registry = MetricsRegistry()
+    instrument_network(registry, net)
+    sampler = TimeSeriesSampler(net.sim, registry, period_s=120.0)
+    net.run(for_s=3600)
+    sampler.export_csv("health.csv")
+"""
+
+from repro.obs.export import (
+    export_jsonl,
+    export_prometheus,
+    from_jsonl,
+    to_jsonl,
+    to_prometheus,
+)
+from repro.obs.instrument import instrument_flows, instrument_network, instrument_node
+from repro.obs.profiler import HotSpot, KernelProfiler
+from repro.obs.registry import (
+    AIRTIME_BUCKETS_S,
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricSample,
+    MetricsRegistry,
+)
+from repro.obs.sampler import SamplePoint, TimeSeriesSampler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricSample",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS_S",
+    "AIRTIME_BUCKETS_S",
+    "SamplePoint",
+    "TimeSeriesSampler",
+    "KernelProfiler",
+    "HotSpot",
+    "instrument_network",
+    "instrument_node",
+    "instrument_flows",
+    "to_prometheus",
+    "to_jsonl",
+    "from_jsonl",
+    "export_jsonl",
+    "export_prometheus",
+]

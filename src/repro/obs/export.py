@@ -1,0 +1,119 @@
+"""Exporters for registry snapshots: Prometheus text and JSON lines.
+
+Two formats cover the two consumers we have:
+
+* **Prometheus text exposition** (:func:`to_prometheus`) — what a
+  scrape endpoint or a textfile collector ingests; one ``# HELP`` /
+  ``# TYPE`` header per metric name, histogram expanded into
+  ``_bucket``/``_sum``/``_count`` series with the standard ``le`` label.
+* **JSON lines** (:func:`to_jsonl` / :func:`from_jsonl`) — one sample
+  per line, loss-free for offline analysis.  ``from_jsonl`` reconstructs
+  the exact :class:`~repro.obs.registry.MetricSample` records, which the
+  tests assert as a round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.obs.registry import MetricSample
+
+
+def _format_value(value: float) -> str:
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _series(name: str, labels: Iterable, value: float) -> str:
+    pairs = ",".join(f'{k}="{v}"' for k, v in labels)
+    label_part = f"{{{pairs}}}" if pairs else ""
+    return f"{name}{label_part} {_format_value(value)}"
+
+
+def to_prometheus(samples: Sequence[MetricSample]) -> str:
+    """Render a snapshot as Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_header = set()
+    for sample in samples:
+        if sample.name not in seen_header:
+            seen_header.add(sample.name)
+            if sample.help:
+                lines.append(f"# HELP {sample.name} {sample.help}")
+            lines.append(f"# TYPE {sample.name} {sample.kind}")
+        if sample.kind == "histogram":
+            for bound, count in sample.buckets:
+                bucket_labels = list(sample.labels) + [("le", _format_value(bound))]
+                lines.append(_series(f"{sample.name}_bucket", bucket_labels, count))
+            inf_labels = list(sample.labels) + [("le", "+Inf")]
+            lines.append(_series(f"{sample.name}_bucket", inf_labels, sample.value))
+            lines.append(_series(f"{sample.name}_sum", sample.labels, sample.sum))
+            lines.append(_series(f"{sample.name}_count", sample.labels, sample.value))
+        else:
+            lines.append(_series(sample.name, sample.labels, sample.value))
+    return "\n".join(lines) + "\n"
+
+
+def to_jsonl(samples: Sequence[MetricSample]) -> str:
+    """Render a snapshot as JSON lines (one sample per line)."""
+    lines = []
+    for sample in samples:
+        record = {
+            "name": sample.name,
+            "kind": sample.kind,
+            "labels": {k: v for k, v in sample.labels},
+            "value": sample.value,
+        }
+        if sample.help:
+            record["help"] = sample.help
+        if sample.kind == "histogram":
+            record["sum"] = sample.sum
+            record["buckets"] = [[bound, count] for bound, count in sample.buckets]
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def from_jsonl(text: str) -> List[MetricSample]:
+    """Reconstruct :class:`MetricSample` records from :func:`to_jsonl`."""
+    samples = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        samples.append(
+            MetricSample(
+                name=record["name"],
+                kind=record["kind"],
+                labels=tuple(sorted((k, v) for k, v in record.get("labels", {}).items())),
+                value=float(record["value"]),
+                sum=float(record.get("sum", 0.0)),
+                buckets=tuple((float(b), int(c)) for b, c in record.get("buckets", [])),
+                help=record.get("help", ""),
+            )
+        )
+    return samples
+
+
+def export_jsonl(samples: Sequence[MetricSample], path: Union[str, Path]) -> Path:
+    """Write a snapshot to ``path`` as JSON lines; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_jsonl(samples))
+    return path
+
+
+def export_prometheus(samples: Sequence[MetricSample], path: Union[str, Path]) -> Path:
+    """Write a snapshot to ``path`` in Prometheus text format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_prometheus(samples))
+    return path

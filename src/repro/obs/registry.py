@@ -1,0 +1,331 @@
+"""The metrics registry: typed instruments with labelled samples.
+
+Every layer of the stack — nodes, queues, radios, the medium, the kernel
+itself — registers instruments here instead of exposing ad-hoc counter
+attributes for callers to reach into.  Three instrument types cover the
+reproduction's needs:
+
+* :class:`Counter` — a monotonically increasing count (frames sent,
+  drops).  Either incremented directly or *callback-backed*, reading a
+  live object's counter so existing code keeps its cheap ``+= 1`` paths.
+* :class:`Gauge` — a value that goes up and down (queue depth, duty-cycle
+  utilisation, routing coverage).  Usually callback-backed.
+* :class:`Histogram` — a fixed-bucket distribution (latency, airtime).
+  Buckets are cumulative, Prometheus-style, with ``+Inf`` implied.
+
+A :meth:`MetricsRegistry.snapshot` materialises every instrument into
+immutable :class:`MetricSample` records; the exporters in
+:mod:`repro.obs.export` turn snapshots into Prometheus text or JSONL and
+the sampler in :mod:`repro.obs.sampler` turns periodic snapshots into
+time series.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default buckets (seconds) for end-to-end delivery latency: LoRa
+#: multi-hop latencies span ~100 ms (one SF7 frame) to minutes (duty
+#: pacing and retransmissions).
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: Default buckets (seconds) for per-frame time on air: SF7/BW125 small
+#: frames are tens of ms, SF12 large frames are a few seconds.
+AIRTIME_BUCKETS_S: Tuple[float, ...] = (
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+class MetricError(Exception):
+    """Misuse of the registry (duplicate registration, bad name, ...)."""
+
+
+def _freeze_labels(labels: Optional[Mapping[str, str]]) -> LabelSet:
+    if not labels:
+        return ()
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise MetricError(f"invalid label name {key!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One instrument's value at snapshot time.
+
+    ``kind`` is ``"counter"``, ``"gauge"``, or ``"histogram"``.  For
+    histograms ``value`` is the observation count, ``sum`` the sum of
+    observations, and ``buckets`` the cumulative count per upper bound
+    (the implicit ``+Inf`` bucket equals ``value``).
+    """
+
+    name: str
+    kind: str
+    labels: LabelSet = ()
+    value: float = 0.0
+    sum: float = 0.0
+    buckets: Tuple[Tuple[float, int], ...] = ()
+    help: str = ""
+
+    @property
+    def key(self) -> str:
+        """Flat ``name{k="v",...}`` identity used by the sampler."""
+        if not self.labels:
+            return self.name
+        inner = ",".join(f'{k}="{v}"' for k, v in self.labels)
+        return f"{self.name}{{{inner}}}"
+
+
+class _Instrument:
+    """Shared plumbing: identity plus an optional value callback."""
+
+    kind = ""
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet,
+        help: str,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._fn = fn
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current value (invokes the callback for callback-backed ones)."""
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def sample(self) -> MetricSample:
+        return MetricSample(
+            name=self.name, kind=self.kind, labels=self.labels,
+            value=self.value, help=self.help,
+        )
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if self._fn is not None:
+            raise MetricError(f"counter {self.name!r} is callback-backed")
+        if amount < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        if self._fn is not None:
+            raise MetricError(f"gauge {self.name!r} is callback-backed")
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        if self._fn is not None:
+            raise MetricError(f"gauge {self.name!r} is callback-backed")
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Shorthand for ``inc(-amount)``."""
+        self.inc(-amount)
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet,
+        help: str,
+        buckets: Sequence[float],
+    ) -> None:
+        if not buckets:
+            raise MetricError(f"histogram {name!r} needs at least one bucket")
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(bounds)) != len(bounds):
+            raise MetricError(f"histogram {name!r} has duplicate buckets")
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.bounds = bounds
+        self._counts = [0] * len(bounds)
+        self._count = 0
+        self._sum = 0.0
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._count += 1
+        self._sum += value
+        index = bisect_left(self.bounds, value)
+        if index < len(self._counts):
+            self._counts[index] += 1
+        # Values above the last bound land only in the implicit +Inf
+        # bucket, whose cumulative count is ``self._count``.
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` quantile from bucket boundaries (upper
+        bound of the bucket containing the target rank; ``inf`` when the
+        rank falls past the last bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile {q!r} outside [0, 1]")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                return bound
+        return float("inf")
+
+    def sample(self) -> MetricSample:
+        cumulative: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self._counts):
+            running += bucket_count
+            cumulative.append((bound, running))
+        return MetricSample(
+            name=self.name, kind=self.kind, labels=self.labels,
+            value=float(self._count), sum=self._sum,
+            buckets=tuple(cumulative), help=self.help,
+        )
+
+
+class MetricsRegistry:
+    """Owns every instrument; the single place snapshots come from.
+
+    Registration is keyed by ``(name, labels)`` — registering the same
+    identity twice returns the existing instrument (so per-node helpers
+    can be called idempotently), but re-registering a name with a
+    different instrument type is an error.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelSet], object] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kinds
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def counter(
+        self,
+        name: str,
+        *,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Counter:
+        """Register (or fetch) a counter."""
+        return self._register(Counter, name, labels, help, fn=fn)
+
+    def gauge(
+        self,
+        name: str,
+        *,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        """Register (or fetch) a gauge."""
+        return self._register(Gauge, name, labels, help, fn=fn)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Sequence[float],
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> Histogram:
+        """Register (or fetch) a fixed-bucket histogram."""
+        frozen = _freeze_labels(labels)
+        self._check_name(name, "histogram")
+        key = (name, frozen)
+        existing = self._instruments.get(key)
+        if existing is not None:
+            return existing  # type: ignore[return-value]
+        instrument = Histogram(name, frozen, help, buckets)
+        self._instruments[key] = instrument
+        return instrument
+
+    def _register(self, cls, name, labels, help, *, fn=None):
+        frozen = _freeze_labels(labels)
+        self._check_name(name, cls.kind)
+        key = (name, frozen)
+        existing = self._instruments.get(key)
+        if existing is not None:
+            return existing
+        instrument = cls(name, frozen, help, fn=fn)
+        self._instruments[key] = instrument
+        return instrument
+
+    def _check_name(self, name: str, kind: str) -> None:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise MetricError(f"metric {name!r} already registered as {known}")
+        self._kinds[name] = kind
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def get(self, name: str, labels: Optional[Mapping[str, str]] = None):
+        """The instrument with this identity, or None."""
+        return self._instruments.get((name, _freeze_labels(labels)))
+
+    def snapshot(self) -> List[MetricSample]:
+        """Materialise every instrument, sorted by (name, labels)."""
+        samples = [inst.sample() for inst in self._instruments.values()]  # type: ignore[attr-defined]
+        samples.sort(key=lambda s: (s.name, s.labels))
+        return samples
+
+    def value(self, name: str, labels: Optional[Mapping[str, str]] = None) -> float:
+        """Shorthand: the current value of one counter/gauge."""
+        instrument = self.get(name, labels)
+        if instrument is None:
+            raise MetricError(f"unknown metric {name!r} with labels {labels!r}")
+        return instrument.value  # type: ignore[union-attr]

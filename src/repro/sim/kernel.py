@@ -19,6 +19,7 @@ from __future__ import annotations
 import heapq
 import logging
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.sim.errors import SchedulingError, SimulationError
@@ -98,6 +99,11 @@ class Simulator:
         self._running: bool = False
         self._stopped: bool = False
         self._events_fired: int = 0
+        #: Optional observability hook (see :mod:`repro.obs.profiler`).
+        #: When set, every executed event is timed with wall-clock and
+        #: reported via ``profiler.record(label, callback, elapsed_s)``.
+        #: Costs nothing when None.
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -176,9 +182,18 @@ class Simulator:
                 raise SimulationError("event queue time went backwards")
             self._now = event.time
             self._events_fired += 1
-            event.callback()
+            self._execute(event)
             return True
         return False
+
+    def _execute(self, event: _Event) -> None:
+        profiler = self.profiler
+        if profiler is None:
+            event.callback()
+            return
+        start = perf_counter()
+        event.callback()
+        profiler.record(event.label, event.callback, perf_counter() - start)
 
     def run(self, until: Optional[float] = None, *, max_events: Optional[int] = None) -> float:
         """Run events until the horizon ``until`` (or queue exhaustion).
@@ -206,7 +221,7 @@ class Simulator:
                 heapq.heappop(self._heap)
                 self._now = event.time
                 self._events_fired += 1
-                event.callback()
+                self._execute(event)
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(

@@ -159,6 +159,37 @@ def _describe(payload: bytes) -> tuple[str, str]:
     return kind, detail
 
 
+def load_capture_jsonl(path: Union[str, Path]) -> List[CapturedFrame]:
+    """Reload a capture written by :meth:`AirCapture.export_jsonl`.
+
+    The reconstructed :class:`CapturedFrame` records compare equal to the
+    originals (a loss-free round trip), which lets offline tooling work
+    on exported captures with the same query helpers.
+    """
+    frames: List[CapturedFrame] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        frames.append(
+            CapturedFrame(
+                index=record["index"],
+                time=record["time"],
+                sender=record["sender"],
+                size=record["size"],
+                airtime_s=record["airtime_s"],
+                packet_kind=record["kind"],
+                summary=record["summary"],
+                outcomes={
+                    int(node): DropReason(reason)
+                    for node, reason in record["outcomes"].items()
+                },
+            )
+        )
+    return frames
+
+
 def _frame_to_json(frame: CapturedFrame) -> Dict[str, Any]:
     return {
         "index": frame.index,

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
@@ -59,11 +61,21 @@ class TraceRecorder:
 
     Recording can be disabled (``enabled=False``) for long benchmark runs
     where only counters matter — ``record`` becomes a counter update only.
+
+    Listener contract
+    -----------------
+    Subscribed listeners fire **only while ``enabled`` is true** — a
+    disabled recorder neither materialises :class:`TraceEvent` objects
+    nor notifies listeners; only the per-kind counters advance.  When
+    ``capacity`` is set, events past the cap are still delivered to
+    listeners but not stored; :attr:`events_dropped` counts them.
     """
 
     def __init__(self, *, enabled: bool = True, capacity: Optional[int] = None) -> None:
         self.enabled = enabled
         self.capacity = capacity
+        #: Events that listeners saw but the capacity-bounded store did not.
+        self.events_dropped = 0
         self._events: List[TraceEvent] = []
         self._counts: Dict[EventKind, int] = {k: 0 for k in EventKind}
         self._listeners: List[Callable[[TraceEvent], None]] = []
@@ -76,11 +88,14 @@ class TraceRecorder:
         event = TraceEvent(time=time, node=node, kind=kind, detail=detail)
         if self.capacity is None or len(self._events) < self.capacity:
             self._events.append(event)
+        else:
+            self.events_dropped += 1
         for listener in self._listeners:
             listener(event)
 
     def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
-        """Call ``listener`` for every recorded event (live assertions)."""
+        """Call ``listener`` for every recorded event while the recorder
+        is enabled (see the listener contract in the class docstring)."""
         self._listeners.append(listener)
 
     # ------------------------------------------------------------------
@@ -125,3 +140,36 @@ class TraceRecorder:
     def clear(self) -> None:
         """Drop recorded events (counters persist)."""
         self._events.clear()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        dropped = f", dropped={self.events_dropped}" if self.events_dropped else ""
+        return f"<TraceRecorder {state}, {len(self._events)} events{dropped}>"
+
+    def export_jsonl(self, path) -> "Path":
+        """Write recorded events as JSON lines; returns the path.
+
+        Symmetric with :meth:`repro.trace.capture.AirCapture.export_jsonl`:
+        one object per line with ``time``/``node``/``kind``/``detail``
+        (detail values are stringified when not JSON-serialisable).
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for event in self._events:
+                detail = {
+                    k: v if isinstance(v, (int, float, str, bool, type(None))) else repr(v)
+                    for k, v in event.detail.items()
+                }
+                handle.write(
+                    json.dumps(
+                        {
+                            "time": event.time,
+                            "node": event.node,
+                            "kind": event.kind.value,
+                            "detail": detail,
+                        }
+                    )
+                    + "\n"
+                )
+        return path

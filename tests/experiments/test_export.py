@@ -77,3 +77,32 @@ class TestRunResultSummary:
         assert 0 <= summary["pdr"] <= 1
         # The whole summary is JSON-serialisable.
         json.dumps(summary)
+
+
+class TestTimeseriesEmbedding:
+    def test_summary_embeds_time_series_when_sampled(self):
+        result = run_protocol(
+            Protocol.MESH,
+            line_positions(3),
+            [TrafficSpec(src_index=0, dst_index=2, period_s=60.0)],
+            duration_s=600.0,
+            seed=1,
+            config=FAST,
+            sample_period_s=300.0,
+        )
+        summary = run_result_summary(result)
+        assert "timeseries" in summary
+        assert summary["timeseries"]["period_s"] == 300.0
+        assert len(summary["timeseries"]["samples"]) >= 2
+        json.dumps(summary)
+
+    def test_summary_omits_time_series_when_not_sampled(self):
+        result = run_protocol(
+            Protocol.MESH,
+            line_positions(3),
+            [TrafficSpec(src_index=0, dst_index=2, period_s=60.0)],
+            duration_s=600.0,
+            seed=1,
+            config=FAST,
+        )
+        assert "timeseries" not in run_result_summary(result)

@@ -74,3 +74,36 @@ class TestRunProtocol:
         ]
         with pytest.raises(ValueError):
             run_protocol(Protocol.STAR, positions, traffic, duration_s=60.0)
+
+
+class TestSampling:
+    def test_sampler_off_by_default(self):
+        result = run_protocol(
+            Protocol.MESH, LINE4, FLOW, duration_s=600.0, seed=1, config=FAST
+        )
+        assert result.sampler is None
+        assert result.timeseries is None
+
+    def test_mesh_run_collects_time_series(self):
+        result = run_protocol(
+            Protocol.MESH, LINE4, FLOW, duration_s=600.0, seed=1, config=FAST,
+            sample_period_s=120.0,
+        )
+        series = result.timeseries
+        assert series is not None
+        assert series["period_s"] == 120.0
+        assert len(series["samples"]) >= 5  # t=0 baseline + periodic + final
+        frames = [p["values"]["repro_network_frames_total"] for p in series["samples"]]
+        assert frames == sorted(frames)  # counters never decrease
+        assert frames[-1] > 0
+        pdr = series["samples"][-1]["values"]["repro_flows_pdr"]
+        assert pdr == pytest.approx(result.pdr)
+
+    def test_baseline_protocols_sample_too(self):
+        for protocol in (Protocol.FLOODING, Protocol.STAR):
+            result = run_protocol(
+                protocol, LINE4, FLOW, duration_s=600.0, seed=1,
+                sample_period_s=300.0,
+            )
+            assert result.timeseries is not None
+            assert len(result.timeseries["samples"]) >= 2, protocol

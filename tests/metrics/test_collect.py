@@ -107,3 +107,18 @@ class TestOverheadSummary:
         net.run(for_s=300.0)
         summary = overhead_summary(net.nodes, FlowRecorder(), now=net.sim.now)
         assert summary.airtime_per_delivered_byte_ms == float("inf")
+
+
+class TestDeliveredBytes:
+    def test_counts_only_matched_deliveries(self):
+        r = FlowRecorder()
+        r.sent(1, 2, seq=0, time=0.0, size=24)
+        r.sent(1, 2, seq=1, time=1.0, size=40)
+        r.sent(1, 3, seq=0, time=2.0, size=100)
+        r.delivered(2, delivery(1, 0, 0.0, 0.5))
+        assert r.delivered_bytes() == 24
+
+    def test_zero_when_nothing_delivered(self):
+        r = FlowRecorder()
+        r.sent(1, 2, seq=0, time=0.0, size=24)
+        assert r.delivered_bytes() == 0

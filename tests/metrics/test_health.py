@@ -57,3 +57,34 @@ class TestNetworkHealth:
         health = network_health(net)
         assert health.worst_duty == 0.0
         assert len(health.nodes) == 1
+
+
+class TestHealthFromRegistry:
+    def test_same_answer_as_direct_reads(self, running_net):
+        from repro.metrics.health import health_from_registry
+        from repro.obs.instrument import instrument_network
+        from repro.obs.registry import MetricsRegistry
+
+        registry = instrument_network(MetricsRegistry(), running_net)
+        health = health_from_registry(
+            registry,
+            time_s=running_net.sim.now,
+            node_order=[n.name for n in running_net.nodes],
+        )
+        direct = network_health(running_net)
+        assert health.coverage == direct.coverage
+        assert health.total_frames == direct.total_frames
+        assert [n.name for n in health.nodes] == [n.name for n in direct.nodes]
+        assert [n.frames_sent for n in health.nodes] == [
+            n.frames_sent for n in direct.nodes
+        ]
+
+    def test_registry_snapshot_is_prometheus_exportable(self, running_net):
+        from repro.obs.export import to_prometheus
+        from repro.obs.instrument import instrument_network
+        from repro.obs.registry import MetricsRegistry
+
+        registry = instrument_network(MetricsRegistry(), running_net)
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE repro_network_coverage gauge" in text
+        assert "repro_node_frames_sent_total" in text

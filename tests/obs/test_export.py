@@ -1,0 +1,70 @@
+"""Tests for Prometheus/JSONL exposition of registry snapshots."""
+
+from repro.obs.export import (
+    export_jsonl,
+    export_prometheus,
+    from_jsonl,
+    to_jsonl,
+    to_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.counter(
+        "frames_total", labels={"node": "0001"}, help="Frames on the air"
+    ).inc(12)
+    registry.counter("frames_total", labels={"node": "0002"}).inc(3)
+    registry.gauge("coverage", help="Routed pair fraction").set(0.75)
+    hist = registry.histogram("latency_seconds", buckets=(0.5, 2.0), help="E2E latency")
+    hist.observe(0.2)
+    hist.observe(1.0)
+    hist.observe(9.0)
+    return registry
+
+
+class TestPrometheus:
+    def test_text_format(self):
+        text = to_prometheus(make_registry().snapshot())
+        lines = text.splitlines()
+        assert "# TYPE coverage gauge" in lines
+        assert "# TYPE frames_total counter" in lines
+        assert "# HELP frames_total Frames on the air" in lines
+        assert 'frames_total{node="0001"} 12' in lines
+        assert 'frames_total{node="0002"} 3' in lines
+        assert "coverage 0.75" in lines
+        assert text.endswith("\n")
+
+    def test_one_header_per_name(self):
+        text = to_prometheus(make_registry().snapshot())
+        assert text.count("# TYPE frames_total counter") == 1
+
+    def test_histogram_expansion(self):
+        lines = to_prometheus(make_registry().snapshot()).splitlines()
+        assert 'latency_seconds_bucket{le="0.5"} 1' in lines
+        assert 'latency_seconds_bucket{le="2"} 2' in lines
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in lines
+        assert "latency_seconds_count 3" in lines
+        assert "latency_seconds_sum 10.2" in lines
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_equality(self):
+        snapshot = make_registry().snapshot()
+        assert from_jsonl(to_jsonl(snapshot)) == snapshot
+
+    def test_file_round_trip(self, tmp_path):
+        snapshot = make_registry().snapshot()
+        path = export_jsonl(snapshot, tmp_path / "metrics.jsonl")
+        assert from_jsonl(path.read_text()) == snapshot
+
+    def test_empty_snapshot(self):
+        assert to_jsonl([]) == ""
+        assert from_jsonl("") == []
+
+
+class TestFiles:
+    def test_prometheus_file(self, tmp_path):
+        path = export_prometheus(make_registry().snapshot(), tmp_path / "metrics.prom")
+        assert "frames_total" in path.read_text()

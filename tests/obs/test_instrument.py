@@ -1,0 +1,76 @@
+"""Tests for binding live networks into the registry."""
+
+import pytest
+
+from repro.metrics.collect import FlowRecorder
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.obs.instrument import (
+    NODE_METRICS,
+    instrument_flows,
+    instrument_network,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.topology.placement import line_positions
+
+FAST = MesherConfig(hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0)
+
+
+@pytest.fixture(scope="module")
+def converged_net():
+    net = MeshNetwork.from_positions(line_positions(3), config=FAST, seed=2)
+    net.run_until_converged(timeout_s=1800.0)
+    a, c = net.nodes[0], net.nodes[-1]
+    a.send_datagram(c.address, b"traffic")
+    net.run(for_s=60.0)
+    return net
+
+
+class TestInstrumentNetwork:
+    def test_per_node_series_exist(self, converged_net):
+        registry = instrument_network(MetricsRegistry(), converged_net)
+        for node in converged_net.nodes:
+            labels = {"node": node.name}
+            for name in NODE_METRICS:
+                assert registry.get(name, labels) is not None, name
+
+    def test_values_track_live_state(self, converged_net):
+        registry = instrument_network(MetricsRegistry(), converged_net)
+        node = converged_net.nodes[0]
+        labels = {"node": node.name}
+        assert registry.value("repro_node_routes", labels) == node.table.size
+        assert (
+            registry.value("repro_node_frames_sent_total", labels)
+            == node.stats.frames_sent
+        )
+        assert registry.value("repro_network_coverage") == converged_net.coverage()
+        assert (
+            registry.value("repro_network_frames_total")
+            == converged_net.total_frames_sent()
+        )
+        assert registry.value("repro_sim_events_total") == converged_net.sim.events_fired
+
+    def test_instrumentation_is_idempotent(self, converged_net):
+        registry = MetricsRegistry()
+        instrument_network(registry, converged_net)
+        size = len(registry)
+        instrument_network(registry, converged_net)
+        assert len(registry) == size
+
+    def test_snapshot_is_live_not_cached(self, converged_net):
+        registry = instrument_network(MetricsRegistry(), converged_net)
+        before = registry.value("repro_network_frames_total")
+        converged_net.run(for_s=120.0)
+        after = registry.value("repro_network_frames_total")
+        assert after > before
+
+
+class TestInstrumentFlows:
+    def test_flow_metrics(self):
+        recorder = FlowRecorder()
+        registry = instrument_flows(MetricsRegistry(), recorder)
+        recorder.sent(1, 2, seq=0, time=0.0, size=24)
+        recorder.sent(1, 2, seq=1, time=1.0, size=24)
+        assert registry.value("repro_flows_sent_total") == 2
+        assert registry.value("repro_flows_delivered_total") == 0
+        assert registry.value("repro_flows_pdr") == 0.0

@@ -1,0 +1,130 @@
+"""Tests for the metrics registry instruments."""
+
+import pytest
+
+from repro.obs.registry import (
+    LATENCY_BUCKETS_S,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("frames_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_decrease(self):
+        counter = MetricsRegistry().counter("frames_total")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_callback_backed(self):
+        source = {"n": 0}
+        counter = MetricsRegistry().counter("cb_total", fn=lambda: source["n"])
+        source["n"] = 7
+        assert counter.value == 7
+
+    def test_callback_backed_rejects_inc(self):
+        counter = MetricsRegistry().counter("cb_total", fn=lambda: 0)
+        with pytest.raises(MetricError):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+    def test_callback_backed(self):
+        values = [3.5]
+        gauge = MetricsRegistry().gauge("depth", fn=lambda: values[0])
+        assert gauge.value == 3.5
+        values[0] = 1.0
+        assert gauge.value == 1.0
+
+
+class TestHistogram:
+    def test_observe_and_buckets(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 0.7, 3.0, 20.0):
+            hist.observe(value)
+        sample = hist.sample()
+        assert sample.value == 4  # observation count
+        assert sample.sum == pytest.approx(24.2)
+        assert sample.buckets == ((1.0, 2), (5.0, 3), (10.0, 3))
+
+    def test_quantile_estimate(self):
+        hist = MetricsRegistry().histogram("lat", buckets=LATENCY_BUCKETS_S)
+        for _ in range(90):
+            hist.observe(0.2)
+        for _ in range(10):
+            hist.observe(40.0)
+        assert hist.quantile(0.5) == 0.25  # bucket upper bound containing rank
+        assert hist.quantile(0.99) == 60.0
+
+    def test_above_all_buckets_is_inf_quantile(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        hist.observe(5.0)
+        assert hist.quantile(1.0) == float("inf")
+
+    def test_empty_histogram(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        assert hist.quantile(0.9) == 0.0
+        assert hist.sample().value == 0
+
+    def test_needs_buckets(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().histogram("lat", buckets=())
+
+
+class TestRegistry:
+    def test_same_identity_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("frames_total", labels={"node": "0001"})
+        b = registry.counter("frames_total", labels={"node": "0001"})
+        assert a is b
+
+    def test_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("frames_total", labels={"node": "0001"})
+        b = registry.counter("frames_total", labels={"node": "0002"})
+        a.inc(3)
+        assert b.value == 0
+        assert len(registry) == 2
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_total")
+        with pytest.raises(MetricError):
+            registry.gauge("frames_total")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().counter("bad name")
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().counter("ok", labels={"bad key": "v"})
+
+    def test_snapshot_sorted_and_keyed(self):
+        registry = MetricsRegistry()
+        registry.gauge("zeta").set(1)
+        registry.counter("alpha", labels={"node": "0001"}).inc()
+        samples = registry.snapshot()
+        assert [s.name for s in samples] == ["alpha", "zeta"]
+        assert samples[0].key == 'alpha{node="0001"}'
+        assert samples[1].key == "zeta"
+
+    def test_value_lookup(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_total", labels={"node": "0001"}).inc(9)
+        assert registry.value("frames_total", {"node": "0001"}) == 9
+        with pytest.raises(MetricError):
+            registry.value("missing")

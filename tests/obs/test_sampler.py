@@ -1,0 +1,99 @@
+"""Tests for the time-series sampler."""
+
+import csv
+import json
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import TimeSeriesSampler
+from repro.sim.kernel import Simulator
+
+
+def make_pair():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    counter = registry.counter("events_total")
+    registry.gauge("clock_seconds", fn=lambda: sim.now)
+    return sim, registry, counter
+
+
+class TestSampling:
+    def test_periodic_samples(self):
+        sim, registry, counter = make_pair()
+        sampler = TimeSeriesSampler(sim, registry, period_s=10.0)
+        sim.schedule(25.0, lambda: counter.inc(5))
+        sim.run(until=35.0)
+        assert len(sampler) == 3  # t=10, 20, 30
+        assert [p.time_s for p in sampler.points] == [10.0, 20.0, 30.0]
+        assert sampler.series("events_total") == [(10.0, 0.0), (20.0, 0.0), (30.0, 5.0)]
+
+    def test_sample_now_and_stop(self):
+        sim, registry, _ = make_pair()
+        sampler = TimeSeriesSampler(sim, registry, period_s=10.0, autostart=False)
+        sampler.sample_now()
+        sim.run(until=50.0)
+        assert len(sampler) == 1  # never armed
+        sampler.start()
+        sim.run(until=75.0)
+        sampler.stop()
+        sim.run(until=200.0)
+        assert [p.time_s for p in sampler.points] == [0.0, 60.0, 70.0]
+
+    def test_ring_capacity_evicts_oldest(self):
+        sim, registry, _ = make_pair()
+        sampler = TimeSeriesSampler(sim, registry, period_s=1.0, capacity=3)
+        sim.run(until=10.5)
+        assert len(sampler) == 3
+        assert sampler.points_dropped == 7
+        assert [p.time_s for p in sampler.points] == [8.0, 9.0, 10.0]
+
+    def test_histogram_flattening(self):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1.0,))
+        hist.observe(0.5)
+        hist.observe(3.0)
+        sampler = TimeSeriesSampler(sim, registry, period_s=1.0, autostart=False)
+        point = sampler.sample_now()
+        assert point.values["lat_count"] == 2
+        assert point.values["lat_sum"] == 3.5
+
+    def test_rejects_bad_period(self):
+        sim, registry, _ = make_pair()
+        try:
+            TimeSeriesSampler(sim, registry, period_s=0.0)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("period_s=0 must be rejected")
+
+
+class TestExport:
+    def test_to_dict_shape(self):
+        sim, registry, counter = make_pair()
+        sampler = TimeSeriesSampler(sim, registry, period_s=10.0)
+        counter.inc()
+        sim.run(until=20.0)
+        document = sampler.to_dict()
+        assert document["period_s"] == 10.0
+        assert len(document["samples"]) == 2
+        assert document["samples"][0]["values"]["events_total"] == 1.0
+
+    def test_jsonl_export(self, tmp_path):
+        sim, registry, _ = make_pair()
+        sampler = TimeSeriesSampler(sim, registry, period_s=10.0)
+        sim.run(until=30.0)
+        path = sampler.export_jsonl(tmp_path / "series.jsonl")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [entry["t"] for entry in lines] == [10.0, 20.0, 30.0]
+        assert all("clock_seconds" in entry["values"] for entry in lines)
+
+    def test_csv_export(self, tmp_path):
+        sim, registry, _ = make_pair()
+        sampler = TimeSeriesSampler(sim, registry, period_s=10.0)
+        sim.run(until=20.0)
+        path = sampler.export_csv(tmp_path / "series.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "time_s"
+        assert "events_total" in rows[0]
+        assert len(rows) == 3  # header + 2 points

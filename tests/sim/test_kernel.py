@@ -241,3 +241,27 @@ class TestFormatting:
         assert format_time(0.0) == "0:00:00.000"
         assert format_time(3661.5) == "1:01:01.500"
         assert format_time(0.1234) == "0:00:00.123"
+
+
+class TestProfilerHook:
+    def test_no_profiler_by_default(self):
+        assert Simulator().profiler is None
+
+    def test_attached_profiler_sees_every_event(self):
+        from repro.obs.profiler import KernelProfiler
+
+        sim = Simulator()
+        profiler = KernelProfiler().attach(sim)
+        sim.schedule(1.0, lambda: None, label="a")
+        sim.schedule(2.0, lambda: None, label="b")
+        sim.run()
+        assert profiler.total_events == sim.events_fired == 2
+
+    def test_step_is_also_profiled(self):
+        from repro.obs.profiler import KernelProfiler
+
+        sim = Simulator()
+        profiler = KernelProfiler().attach(sim)
+        sim.schedule(1.0, lambda: None, label="stepped")
+        assert sim.step() is True
+        assert profiler.total_events == 1

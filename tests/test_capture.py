@@ -105,3 +105,18 @@ class TestCapture:
         b.send_datagram(c.address, b"two" + bytes(60))
         net.run(for_s=30.0)
         assert capture.collision_count() >= 1
+
+
+class TestRoundTrip:
+    def test_export_then_load_compares_equal(self, captured_net, tmp_path):
+        from repro.trace.capture import load_capture_jsonl
+
+        _, capture = captured_net
+        path = capture.export_jsonl(tmp_path / "capture.jsonl")
+        frames = load_capture_jsonl(path)
+        assert frames == capture.frames
+        # DropReason enums survive the trip, not just their string values
+        outcomes = [o for frame in frames for o in frame.outcomes.values()]
+        assert any(isinstance(o, DropReason) for o in outcomes) or all(
+            o == "delivered" for o in outcomes
+        )

@@ -177,3 +177,69 @@ class TestPlanCommand:
         out = capsys.readouterr().out
         assert code == 1
         assert "no spreading factor" in out
+
+
+class TestTraceFlag:
+    def test_simulate_writes_trace(self, capsys, tmp_path):
+        path = tmp_path / "events.jsonl"
+        code = main(
+            ["simulate", "--nodes", "2", "--duration", "300",
+             "--hello-period", "30", "--route-timeout", "120",
+             "--trace", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace:" in out
+        lines = path.read_text().splitlines()
+        assert len(lines) > 0
+        import json
+
+        record = json.loads(lines[0])
+        assert set(record) >= {"time", "node", "kind"}
+
+
+class TestMonitorCommand:
+    def test_monitor_prints_time_series(self, capsys):
+        code = main(
+            ["monitor", "--nodes", "3", "--topology", "line", "--duration", "600",
+             "--interval", "120", "--hello-period", "30", "--route-timeout", "120"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Sampled health" in out
+        assert "t (s)" in out
+        assert "Network health" in out
+        # one sampled row per interval plus the t=0 baseline
+        table = out.split("Network health")[0]
+        rows = [line for line in table.splitlines() if line.strip()[:1].isdigit()]
+        assert len(rows) == 6  # t = 0, 120, 240, 360, 480, 600
+
+    def test_monitor_exports_csv(self, capsys, tmp_path):
+        path = tmp_path / "series.csv"
+        code = main(
+            ["monitor", "--nodes", "2", "--duration", "300", "--interval", "60",
+             "--hello-period", "30", "--route-timeout", "120", "--csv", str(path)]
+        )
+        assert code == 0
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("time_s")
+        assert "repro_network_coverage" in header
+
+    def test_monitor_rejects_nonpositive_interval(self, capsys):
+        code = main(["monitor", "--nodes", "2", "--duration", "300", "--interval", "0"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "must be positive" in out
+
+
+class TestProfileCommand:
+    def test_profile_prints_hot_spots(self, capsys):
+        code = main(
+            ["profile", "--nodes", "4", "--duration", "600",
+             "--hello-period", "30", "--route-timeout", "120"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Kernel hot spots" in out
+        assert "handler" in out
+        assert "events" in out

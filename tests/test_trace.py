@@ -71,3 +71,52 @@ class TestListeners:
         trace = TraceRecorder()
         trace.record(1.5, 0x0A, EventKind.DATA_NO_ROUTE, dst=3)
         assert "data_no_route" in repr(trace.events()[0])
+
+
+class TestDropAccounting:
+    def test_events_dropped_counter(self):
+        trace = TraceRecorder(capacity=2)
+        for i in range(5):
+            trace.record(float(i), 0x01, EventKind.FRAME_SENT)
+        assert trace.events_dropped == 3
+        assert "dropped=3" in repr(trace)
+
+    def test_repr_without_drops(self):
+        trace = TraceRecorder()
+        trace.record(1.0, 0x01, EventKind.HELLO_SENT)
+        text = repr(trace)
+        assert "1 event" in text
+        assert "dropped" not in text
+
+    def test_listeners_fire_even_for_dropped_events(self):
+        trace = TraceRecorder(capacity=1)
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(1.0, 0x01, EventKind.FRAME_SENT)
+        trace.record(2.0, 0x01, EventKind.FRAME_SENT)
+        assert len(trace) == 1
+        assert len(seen) == 2  # delivery is not gated by storage capacity
+
+    def test_disabled_recorder_skips_listeners(self):
+        trace = TraceRecorder(enabled=False)
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(1.0, 0x01, EventKind.HELLO_SENT)
+        assert seen == []
+
+
+class TestExportJsonl:
+    def test_export_writes_one_line_per_event(self, tmp_path):
+        import json
+
+        trace = TraceRecorder()
+        trace.record(1.0, 0x01, EventKind.ROUTE_ADDED, dst=5, metric=2)
+        trace.record(2.5, 0x02, EventKind.DATA_DELIVERED, bytes=24)
+        path = trace.export_jsonl(tmp_path / "events.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 2
+        assert records[0] == {
+            "time": 1.0, "node": 1, "kind": "route_added",
+            "detail": {"dst": 5, "metric": 2},
+        }
+        assert records[1]["kind"] == "data_delivered"
