@@ -11,7 +11,7 @@ the time to learn a destination grows with its hop distance (information
 propagates one hop per hello round).
 """
 
-from benchmarks.conftest import BENCH_CONFIG, SEEDS
+from benchmarks.conftest import BENCH_CONFIG, BENCH_WORKERS, SEEDS
 from repro.experiments.report import print_table
 from repro.experiments.sweep import repeat_seeds
 from repro.net.api import MeshNetwork
@@ -23,6 +23,11 @@ def converge_once(seed: int):
     net = MeshNetwork.from_positions(line_positions(4), config=BENCH_CONFIG, seed=seed)
     t = net.run_until_converged(timeout_s=3600.0, check_period_s=5.0)
     return net, t
+
+
+def convergence_time(seed: int):
+    """Module-level so the seed fan-out can cross process boundaries."""
+    return converge_once(seed)[1]
 
 
 def test_e1_convergence_timeline(benchmark):
@@ -44,7 +49,7 @@ def test_e1_convergence_timeline(benchmark):
         title="E1: routing-table build-up, 4-node line, hello=60 s (seed 11)",
     )
 
-    mean_t, ci, raw = repeat_seeds(lambda s: converge_once(s)[1], SEEDS)
+    mean_t, ci, raw = repeat_seeds(convergence_time, SEEDS, workers=BENCH_WORKERS)
     print_table(
         ["metric", "value"],
         [

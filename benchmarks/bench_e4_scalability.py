@@ -11,8 +11,9 @@ diameter x hello period), and control bytes grow superlinearly in N
 
 import random
 
-from benchmarks.conftest import BENCH_CONFIG
+from benchmarks.conftest import BENCH_CONFIG, BENCH_WORKERS
 from repro.experiments.report import print_table
+from repro.experiments.sweep import run_parallel
 from repro.net.api import MeshNetwork
 from repro.phy.link import LinkBudget
 from repro.phy.pathloss import LogDistancePathLoss
@@ -50,10 +51,18 @@ def measure(n: int, seed: int):
     }
 
 
+def measure_point(n: int):
+    """Module-level fixed-seed point so the sweep can run in worker
+    processes (``REPRO_BENCH_WORKERS``)."""
+    return measure(n, seed=5)
+
+
 def test_e4_convergence_vs_network_size(benchmark):
     sizes = (2, 4, 8, 12, 16, 24)
     results = benchmark.pedantic(
-        lambda: [measure(n, seed=5) for n in sizes], rounds=1, iterations=1
+        lambda: run_parallel(sizes, measure_point, workers=BENCH_WORKERS),
+        rounds=1,
+        iterations=1,
     )
     rows = [
         (

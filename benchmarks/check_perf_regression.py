@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Performance regression gate for the substrate benchmarks.
+
+Converts pytest-benchmark JSON (``--benchmark-json``) into the repo's
+experiment-record schema (:mod:`repro.experiments.export`) and compares a
+candidate run against a committed baseline with a *direction-aware* gate:
+getting slower by more than the threshold fails, getting faster never
+does.  Reporting reuses :mod:`repro.experiments.regression`'s
+``Difference``/``ComparisonReport`` machinery so the output matches the
+experiment regression tooling.
+
+Usage::
+
+    # produce a baseline from a bench run
+    pytest benchmarks/bench_perf_simulator.py --benchmark-only \
+        --benchmark-disable-gc --benchmark-json perf.json
+    python benchmarks/check_perf_regression.py record \
+        --benchmark-json perf.json --out benchmarks/BENCH_perf_baseline.json
+
+    # gate a later run against it (>25% slower on any benchmark fails)
+    python benchmarks/check_perf_regression.py check \
+        --baseline benchmarks/BENCH_perf_baseline.json \
+        --candidate perf.json --threshold 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.experiments.export import ExperimentRecord, export_records, load_records
+from repro.experiments.regression import ComparisonReport, Difference
+
+EXPERIMENT_ID = "perf_simulator"
+COLUMNS = ["benchmark", "mean_s", "stddev_s", "rounds"]
+
+
+def _records_from_pytest_benchmark(path: Path) -> List[ExperimentRecord]:
+    """One ExperimentRecord holding a row per benchmark in the document."""
+    doc = json.loads(path.read_text())
+    record = ExperimentRecord(
+        experiment_id=EXPERIMENT_ID,
+        description="substrate benchmark wall-clock (bench_perf_simulator)",
+        parameters={"machine": doc.get("machine_info", {}).get("node", "unknown")},
+        columns=list(COLUMNS),
+    )
+    for bench in sorted(doc.get("benchmarks", []), key=lambda b: b["name"]):
+        stats = bench["stats"]
+        record.add_row(bench["name"], stats["mean"], stats["stddev"], stats["rounds"])
+    return [record]
+
+
+def _load(path: Path) -> List[ExperimentRecord]:
+    """Load either schema: pytest-benchmark JSON or exported records."""
+    doc = json.loads(path.read_text())
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        return _records_from_pytest_benchmark(path)
+    return load_records(path)
+
+
+def _means(records: List[ExperimentRecord]) -> dict:
+    means = {}
+    for record in records:
+        if record.experiment_id != EXPERIMENT_ID:
+            continue
+        name_col = record.columns.index("benchmark")
+        mean_col = record.columns.index("mean_s")
+        for row in record.rows:
+            means[row[name_col]] = float(row[mean_col])
+    return means
+
+
+def compare_perf(
+    baseline: List[ExperimentRecord],
+    candidate: List[ExperimentRecord],
+    *,
+    threshold: float = 0.25,
+) -> ComparisonReport:
+    """Direction-aware comparison: only slowdowns beyond ``threshold``
+    (relative) count as differences."""
+    report = ComparisonReport(compared_experiments=1)
+    base = _means(baseline)
+    cand = _means(candidate)
+    for name in base:
+        if name not in cand:
+            report.differences.append(
+                Difference(EXPERIMENT_ID, "missing", f"{name} absent from candidate run")
+            )
+    for name, base_mean in sorted(base.items()):
+        cand_mean = cand.get(name)
+        if cand_mean is None:
+            continue
+        report.compared_cells += 1
+        if base_mean > 0 and cand_mean > base_mean * (1.0 + threshold):
+            slowdown = cand_mean / base_mean
+            report.differences.append(
+                Difference(
+                    EXPERIMENT_ID,
+                    "value",
+                    f"{name}: {base_mean * 1e3:.3f} ms -> {cand_mean * 1e3:.3f} ms "
+                    f"({slowdown:.2f}x, gate is {1.0 + threshold:.2f}x)",
+                )
+            )
+    return report
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    records = _records_from_pytest_benchmark(Path(args.benchmark_json))
+    path = export_records(records, args.out, metadata={"kind": "perf_baseline"})
+    rows = records[0].rows
+    print(f"baseline: {len(rows)} benchmark(s) written to {path}")
+    for row in rows:
+        print(f"  {row[0]}: {row[1] * 1e3:.3f} ms mean over {row[3]} rounds")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; nothing to gate against (pass)")
+        return 0
+    report = compare_perf(
+        _load(baseline_path), _load(Path(args.candidate)), threshold=args.threshold
+    )
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="convert a bench run into a committed baseline")
+    record.add_argument("--benchmark-json", required=True, help="pytest-benchmark JSON")
+    record.add_argument("--out", required=True, help="baseline path to write")
+    record.set_defaults(func=cmd_record)
+
+    check = sub.add_parser("check", help="gate a bench run against the baseline")
+    check.add_argument("--baseline", required=True)
+    check.add_argument("--candidate", required=True, help="pytest-benchmark JSON or baseline schema")
+    check.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed relative slowdown before failing (default 0.25)",
+    )
+    check.set_defaults(func=cmd_check)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

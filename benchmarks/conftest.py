@@ -32,6 +32,11 @@ BENCH_CONFIG = MesherConfig(
 #: Seeds for repeated trials.
 SEEDS = [11, 22, 33]
 
+#: Worker processes for seed/point fan-out (``REPRO_BENCH_WORKERS=4``);
+#: 0/unset runs serially.  Parallel and serial runs produce identical
+#: numbers — every point is seeded explicitly.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
+
 #: Where benches drop machine-readable results (override with
 #: ``REPRO_BENCH_RESULTS``); each bench writes ``BENCH_<name>.json``.
 RESULTS_DIR = Path(os.environ.get("REPRO_BENCH_RESULTS", "benchmarks/results"))

@@ -140,6 +140,82 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if convergence is not None else 1
 
 
+def _sweep_point(point: dict) -> dict:
+    """One ``repro sweep`` trial.
+
+    Module-level (not a closure) so ``--workers`` can ship it to worker
+    processes; everything the trial needs arrives in the point dict and
+    the RNG seed is explicit, so parallel and serial sweeps agree.
+    """
+    config = MesherConfig(
+        hello_period_s=point["hello_period"],
+        route_timeout_s=max(point["route_timeout"], point["hello_period"] * 1.5),
+        purge_period_s=max(point["hello_period"] / 4, 5.0),
+    )
+    positions = _make_positions(point["topology"], point["nodes"], point["spacing"])
+    net = MeshNetwork.from_positions(
+        positions, config=config, seed=point["seed"], trace_enabled=False
+    )
+    convergence = net.run_until_converged(timeout_s=point["timeout"])
+    return {
+        "nodes": point["nodes"],
+        "seed": point["seed"],
+        "convergence_s": convergence,
+        "frames": net.total_frames_sent(),
+        "bytes": net.total_bytes_sent(),
+        "airtime_s": net.total_airtime_s(),
+    }
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Sweep network sizes with repeated derived seeds, optionally in
+    parallel worker processes."""
+    from repro.experiments.sweep import derive_seed, run_parallel
+    from repro.metrics.stats import mean
+
+    points: List[dict] = []
+    for nodes in args.nodes:
+        for _ in range(args.repeats):
+            points.append(
+                {
+                    "topology": args.topology,
+                    "nodes": nodes,
+                    "spacing": args.spacing,
+                    "seed": derive_seed(args.seed, len(points)),
+                    "hello_period": args.hello_period,
+                    "route_timeout": args.route_timeout,
+                    "timeout": args.timeout,
+                }
+            )
+    results = run_parallel(points, _sweep_point, workers=args.workers)
+    rows = []
+    for nodes in args.nodes:
+        group = [r for r in results if r["nodes"] == nodes]
+        times = [r["convergence_s"] for r in group if r["convergence_s"] is not None]
+        rows.append(
+            (
+                nodes,
+                f"{mean(times):.0f}" if times else "timeout",
+                f"{len(times)}/{len(group)}",
+                f"{mean([float(r['frames']) for r in group]):.0f}",
+                f"{mean([float(r['bytes']) for r in group]):.0f}",
+                f"{mean([r['airtime_s'] for r in group]):.2f}",
+            )
+        )
+    workers = args.workers or 1
+    print(
+        format_table(
+            ["nodes", "convergence (s)", "converged", "frames", "bytes", "airtime (s)"],
+            rows,
+            title=(
+                f"sweep: {args.topology}, {args.repeats} seed(s)/point, "
+                f"{workers} worker(s), master seed {args.seed}"
+            ),
+        )
+    )
+    return 0 if all(r["convergence_s"] is not None for r in results) else 1
+
+
 def cmd_monitor(args: argparse.Namespace) -> int:
     """Run a mesh while sampling health as a time series."""
     from repro.metrics.health import network_health
@@ -330,6 +406,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="record protocol trace events and write them to PATH as JSON lines",
     )
     simulate.set_defaults(func=cmd_simulate)
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep network sizes over repeated seeds, optionally in parallel"
+    )
+    common(sweep)
+    sweep.add_argument(
+        "--nodes", type=int, nargs="+", default=[4, 8, 12], help="network sizes to sweep"
+    )
+    sweep.add_argument("--topology", choices=("line", "grid", "ring"), default="grid")
+    sweep.add_argument("--spacing", type=float, default=120.0, help="node spacing (m)")
+    sweep.add_argument("--repeats", type=int, default=3, help="seeds per sweep point")
+    sweep.add_argument(
+        "--timeout", type=float, default=3600.0, help="convergence timeout (simulated s)"
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the sweep (default: serial); results are "
+        "identical to a serial run — every point's seed is derived from "
+        "the master seed, not from process state",
+    )
+    sweep.set_defaults(func=cmd_sweep)
 
     monitor = sub.add_parser(
         "monitor", help="run a mesh and stream sampled time-series health"

@@ -11,7 +11,7 @@
 
 from repro.experiments.runner import Protocol, RunResult, TrafficSpec, run_protocol
 from repro.experiments.report import format_table, print_table
-from repro.experiments.sweep import repeat_seeds, sweep_grid
+from repro.experiments.sweep import derive_seed, repeat_seeds, run_parallel, sweep_grid
 from repro.experiments.ascii_plot import ascii_plot, print_plot
 from repro.experiments.export import ExperimentRecord, export_records, load_records
 from repro.experiments.regression import ComparisonReport, compare_files, compare_records
@@ -25,6 +25,8 @@ __all__ = [
     "format_table",
     "sweep_grid",
     "repeat_seeds",
+    "run_parallel",
+    "derive_seed",
     "ascii_plot",
     "print_plot",
     "ExperimentRecord",

@@ -7,10 +7,52 @@ iteration and aggregation uniform across bench files.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+import multiprocessing
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.metrics.stats import confidence_interval_95, mean
+
+
+def derive_seed(master: int, index: int) -> int:
+    """A per-point seed derived deterministically from a master seed.
+
+    Uses SHA-256 of ``"{master}:{index}"`` so the derivation is stable
+    across processes, platforms, and Python versions (unlike ``hash()``,
+    which is salted per process) — a parallel sweep and a serial sweep
+    hand every point the identical seed.
+    """
+    digest = hashlib.sha256(f"{master}:{index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def run_parallel(
+    points: Sequence[Any],
+    fn: Callable[[Any], Any],
+    *,
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[Any]:
+    """Map ``fn`` over sweep points, optionally across worker processes.
+
+    Results come back in input order regardless of which worker finished
+    first, so a parallel sweep is indistinguishable from the serial one —
+    each simulation point is seeded explicitly (see :func:`derive_seed`),
+    never from ambient process state.
+
+    ``workers=None`` (or <= 1) runs serially in-process, which keeps the
+    helper usable for quick runs and for callers whose ``fn`` is not
+    picklable.  With more workers, ``fn`` must be a module-level callable
+    (the usual :mod:`multiprocessing` constraint).
+    """
+    points = list(points)
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers is None or workers <= 1 or len(points) <= 1:
+        return [fn(point) for point in points]
+    with multiprocessing.Pool(processes=min(workers, len(points))) as pool:
+        return pool.map(fn, points, chunksize)
 
 
 def sweep_grid(**axes: Sequence[Any]) -> Iterator[Dict[str, Any]]:
@@ -25,18 +67,25 @@ def sweep_grid(**axes: Sequence[Any]) -> Iterator[Dict[str, Any]]:
 
 
 def repeat_seeds(
-    fn: Callable[[int], float], seeds: Iterable[int]
+    fn: Callable[[int], float],
+    seeds: Iterable[int],
+    *,
+    workers: Optional[int] = None,
 ) -> Tuple[float, float, List[float]]:
     """Run ``fn(seed)`` per seed; returns (mean, 95%-CI half-width, raw).
 
     Points where ``fn`` returns None (e.g. convergence timeout) are kept
     out of the mean but preserved in the raw list as ``float('nan')`` so
     callers can report how many trials failed.
+
+    ``workers`` fans the seeds out over processes via
+    :func:`run_parallel`; aggregation order (and therefore every returned
+    number) is identical to the serial run.
     """
+    results = run_parallel(list(seeds), fn, workers=workers)
     raw: List[float] = []
     valid: List[float] = []
-    for seed in seeds:
-        value = fn(seed)
+    for value in results:
         if value is None:
             raw.append(float("nan"))
         else:

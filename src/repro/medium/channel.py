@@ -25,8 +25,9 @@ from __future__ import annotations
 import enum
 import itertools
 import logging
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Protocol, Tuple
 
 from repro.phy.link import LinkBudget, snr_floor_db, noise_floor_dbm, survives_interference
 from repro.phy.modulation import LoRaParams
@@ -53,6 +54,14 @@ class MediumListener(Protocol):
         """True if the radio was continuously in RX during [start, end]."""
         ...
 
+    def rx_params_throughout(self, start: float, end: float) -> Optional[LoRaParams]:
+        """Combined hot-path accessor: the modulation the radio listened
+        with continuously during [start, end], or None.  Must equal
+        ``rx_params if listening_throughout(start, end) else None``; the
+        medium classifies every listener of every frame, so it asks with
+        one call instead of two."""
+        ...
+
     def deliver(self, outcome: "ReceptionOutcome") -> None:
         """Hand a resolved reception (good or corrupted) to the radio."""
         ...
@@ -69,7 +78,7 @@ class DropReason(enum.Enum):
     INJECTED_LOSS = "injected_loss"
 
 
-@dataclass
+@dataclass(slots=True)
 class Transmission:
     """One frame in flight."""
 
@@ -98,7 +107,7 @@ class Transmission:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReceptionOutcome:
     """The resolved result of one (transmission, listener) pair."""
 
@@ -117,6 +126,39 @@ class ReceptionOutcome:
 LossInjector = Callable[[Transmission, int], bool]
 
 
+_NO_SIGNAL = float("-inf")
+
+
+def _drop(
+    tx: Transmission,
+    reason: DropReason,
+    rssi: float = _NO_SIGNAL,
+    snr: float = _NO_SIGNAL,
+) -> ReceptionOutcome:
+    """A non-delivery outcome for ``tx`` (module-level so the resolver
+    does not rebuild a closure per (frame, listener) pair)."""
+    return ReceptionOutcome(
+        payload=tx.payload,
+        sender_id=tx.sender_id,
+        rssi_dbm=rssi,
+        snr_db=snr,
+        crc_ok=False,
+        start=tx.start,
+        end=tx.end,
+        params=tx.params,
+        reason=reason,
+    )
+
+
+def _params_compatible(tx_params: LoRaParams, rx_params: LoRaParams) -> bool:
+    """Whether a receiver tuned to ``rx_params`` demodulates ``tx_params``."""
+    return (
+        tx_params.spreading_factor == rx_params.spreading_factor
+        and tx_params.bandwidth == rx_params.bandwidth
+        and abs(tx_params.frequency_mhz - rx_params.frequency_mhz) < 1e-9
+    )
+
+
 class Medium:
     """The shared channel connecting every radio in a scenario.
 
@@ -133,6 +175,7 @@ class Medium:
         link_budget: LinkBudget,
         *,
         loss_injector: Optional[LossInjector] = None,
+        reachability_cache: Optional[bool] = None,
     ) -> None:
         self._sim = sim
         self._link = link_budget
@@ -140,11 +183,31 @@ class Medium:
         self._listeners: Dict[int, MediumListener] = {}
         self._active: Dict[int, Transmission] = {}
         #: Transmissions kept past their end for overlap checks against
-        #: frames that started before they ended.
-        self._recent: List[Transmission] = []
+        #: frames that started before they ended.  Frames complete in
+        #: end-time order, so appending at completion keeps the deque
+        #: sorted by end time and pruning pops from the left.
+        self._recent: Deque[Transmission] = deque()
         self._tx_counter = itertools.count()
-        self._stats: Dict[DropReason, int] = {reason: 0 for reason in DropReason}
+        # Keyed by the reason's value string rather than the member: the
+        # per-listener `stats[reason] += 1` in _complete would otherwise
+        # pay a Python-level enum.__hash__ on every lookup.
+        self._stats: Dict[str, int] = {reason._value_: 0 for reason in DropReason}
         self._transmissions_total = 0
+        #: Reception fast path: per (sender position, params) set of
+        #: listener ids whose link clears the demodulation floor, so
+        #: frame resolution runs full PHY math only on plausible
+        #: receivers.  Invalidated wholesale on attach/detach/movement;
+        #: ``None`` when the pathloss model rules the cache out
+        #: (time-varying loss or order-sensitive shadowing draws).
+        if reachability_cache is None:
+            reachability_cache = link_budget.supports_reachability_cache
+        self.use_reachability: bool = reachability_cache
+        self._reachable_cache: Dict[tuple, FrozenSet[int]] = {}
+        self._reachable_params: Dict[int, LoRaParams] = {}
+        # Listener snapshot reused across completions; rebuilt only after
+        # an attach/detach (deliver callbacks may mutate the listener map
+        # mid-resolution, which must not disturb the in-progress loop).
+        self._listener_snapshot: Optional[Tuple[MediumListener, ...]] = None
         #: Optional sniffer hook: called once per completed transmission
         #: with the per-listener outcomes (see repro.trace.capture).
         self.on_transmission: Optional[
@@ -159,10 +222,29 @@ class Medium:
         if listener.node_id in self._listeners:
             raise ValueError(f"node id {listener.node_id} already attached")
         self._listeners[listener.node_id] = listener
+        self._invalidate_topology()
 
     def detach(self, node_id: int) -> None:
         """Remove a radio (e.g. simulated node failure)."""
         self._listeners.pop(node_id, None)
+        self._invalidate_topology()
+
+    def notify_moved(self, node_id: int) -> None:
+        """Mobility hook: a radio's position changed.
+
+        Drops every cached reachable set (any sender's set may include or
+        exclude the moved listener) and the link budget's memoized
+        qualities, so the next resolution recomputes against the new
+        geometry.
+        """
+        self._reachable_cache.clear()
+        self._reachable_params.clear()
+        self._link.invalidate()
+
+    def _invalidate_topology(self) -> None:
+        self._listener_snapshot = None
+        self._reachable_cache.clear()
+        self._reachable_params.clear()
 
     @property
     def listener_ids(self) -> Tuple[int, ...]:
@@ -204,7 +286,8 @@ class Medium:
             airtime,
             lambda: self._complete(tx),
             priority=PRIORITY_HIGH,
-            label=f"tx#{tx.tx_id} end",
+            # Lazy label: formatted only if a profiler/inspector reads it.
+            label=lambda: f"tx#{tx.tx_id} end",
         )
         return tx
 
@@ -212,49 +295,99 @@ class Medium:
         self._active.pop(tx.tx_id, None)
         self._recent.append(tx)
         self._prune_recent(tx.start)
+        listeners = self._listener_snapshot
+        if listeners is None:
+            listeners = self._listener_snapshot = tuple(self._listeners.values())
+        reachable = self._reachable(tx) if self.use_reachability else None
+        # The same overlap set applies at every listener; compute it once
+        # per frame instead of once per (frame, listener).
+        overlapping = self._overlapping(tx)
+        stats = self._stats
         outcomes: Dict[int, DropReason] = {}
-        for listener in list(self._listeners.values()):
-            if listener.node_id == tx.sender_id:
+        sender_id, tx_params, tx_start, tx_end = tx.sender_id, tx.params, tx.start, tx.end
+        not_listening = DropReason.NOT_LISTENING
+        wrong_params = DropReason.WRONG_PARAMS
+        below_sensitivity = DropReason.BELOW_SENSITIVITY
+        for listener in listeners:
+            node_id = listener.node_id
+            if node_id == sender_id:
                 continue
-            outcome = self._resolve(tx, listener)
-            self._stats[outcome.reason] += 1
-            outcomes[listener.node_id] = outcome.reason
-            if outcome.reason in (DropReason.DELIVERED, DropReason.COLLISION):
+            if reachable is not None and node_id not in reachable:
+                # Culled listener: the link budget says the frame cannot
+                # clear sensitivity here, so skip the PHY math entirely —
+                # but keep the outcome histogram byte-identical to the
+                # slow path by replaying its (cheap) early checks in the
+                # same order.  (The identity test is a fast path for the
+                # common whole-network-shares-one-params-object case.)
+                rx_params = listener.rx_params_throughout(tx_start, tx_end)
+                if rx_params is None:
+                    reason = not_listening
+                elif rx_params is not tx_params and not _params_compatible(tx_params, rx_params):
+                    reason = wrong_params
+                else:
+                    reason = below_sensitivity
+                stats[reason._value_] += 1
+                outcomes[node_id] = reason
+                continue
+            outcome = self._resolve(tx, listener, overlapping)
+            reason = outcome.reason
+            stats[reason._value_] += 1
+            outcomes[node_id] = reason
+            if reason is DropReason.DELIVERED or reason is DropReason.COLLISION:
                 listener.deliver(outcome)
         if self.on_transmission is not None:
             self.on_transmission(tx, outcomes)
 
+    def _reachable(self, tx: Transmission) -> FrozenSet[int]:
+        """Listener ids whose link from ``tx``'s origin clears sensitivity.
+
+        Cached per (sender position, params); any attach/detach/move
+        clears the cache.  Keying by ``id(params)`` is safe because the
+        params object is pinned in ``_reachable_params`` for the cache
+        entry's lifetime.
+        """
+        key = (tx.position, id(tx.params))
+        cached = self._reachable_cache.get(key)
+        if cached is None:
+            self._reachable_params[id(tx.params)] = tx.params
+            link = self._link
+            position, params = tx.position, tx.params
+            # The sender itself stays in the set: the key is positional,
+            # so a co-located node's transmissions may legitimately reuse
+            # this entry with a different sender id.
+            cached = frozenset(
+                node_id
+                for node_id, listener in self._listeners.items()
+                if link.in_range(position, listener.position, params)
+            )
+            self._reachable_cache[key] = cached
+        return cached
+
     # ------------------------------------------------------------------
     # Reception resolution
     # ------------------------------------------------------------------
-    def _resolve(self, tx: Transmission, listener: MediumListener) -> ReceptionOutcome:
-        def drop(reason: DropReason, rssi: float = float("-inf"), snr: float = float("-inf")):
-            return ReceptionOutcome(
-                payload=tx.payload,
-                sender_id=tx.sender_id,
-                rssi_dbm=rssi,
-                snr_db=snr,
-                crc_ok=False,
-                start=tx.start,
-                end=tx.end,
-                params=tx.params,
-                reason=reason,
-            )
-
-        rx_params = listener.rx_params
-        if rx_params is None or not listener.listening_throughout(tx.start, tx.end):
-            return drop(DropReason.NOT_LISTENING)
-        if not self._params_compatible(tx.params, rx_params):
-            return drop(DropReason.WRONG_PARAMS)
+    def _resolve(
+        self,
+        tx: Transmission,
+        listener: MediumListener,
+        overlapping: List[Transmission],
+    ) -> ReceptionOutcome:
+        rx_params = listener.rx_params_throughout(tx.start, tx.end)
+        if rx_params is None:
+            return _drop(tx, DropReason.NOT_LISTENING)
+        if rx_params is not tx.params and not _params_compatible(tx.params, rx_params):
+            return _drop(tx, DropReason.WRONG_PARAMS)
 
         quality = self._link.evaluate(tx.position, listener.position, tx.params)
         if not quality.above_sensitivity:
-            return drop(DropReason.BELOW_SENSITIVITY, quality.rssi_dbm, quality.snr_db)
+            return _drop(tx, DropReason.BELOW_SENSITIVITY, quality.rssi_dbm, quality.snr_db)
 
         if self._loss_injector is not None and self._loss_injector(tx, listener.node_id):
-            return drop(DropReason.INJECTED_LOSS, quality.rssi_dbm, quality.snr_db)
+            return _drop(tx, DropReason.INJECTED_LOSS, quality.rssi_dbm, quality.snr_db)
 
-        if not self._survives_all_interference(tx, listener, quality.rssi_dbm):
+        if overlapping and not self._survives_all_interference(
+            tx, listener, quality.rssi_dbm, overlapping
+        ):
             # Delivered as a CRC-failed frame: real radios raise an RxDone
             # with PayloadCrcError in this case, which the driver surfaces.
             return ReceptionOutcome(
@@ -282,9 +415,13 @@ class Medium:
         )
 
     def _survives_all_interference(
-        self, tx: Transmission, listener: MediumListener, signal_dbm: float
+        self,
+        tx: Transmission,
+        listener: MediumListener,
+        signal_dbm: float,
+        overlapping: List[Transmission],
     ) -> bool:
-        for other in self._overlapping(tx):
+        for other in overlapping:
             if other.sender_id == listener.node_id:
                 # The listener's own transmission: handled by the
                 # half-duplex listening_throughout check; skip here.
@@ -317,27 +454,43 @@ class Medium:
                 out.append(other)
         return out
 
-    @staticmethod
-    def _params_compatible(tx_params: LoRaParams, rx_params: LoRaParams) -> bool:
-        return (
-            tx_params.spreading_factor == rx_params.spreading_factor
-            and tx_params.bandwidth == rx_params.bandwidth
-            and abs(tx_params.frequency_mhz - rx_params.frequency_mhz) < 1e-9
-        )
+    # Kept as a staticmethod alias for backwards compatibility; the hot
+    # paths call the module-level function directly.
+    _params_compatible = staticmethod(_params_compatible)
 
     def _prune_recent(self, horizon: float) -> None:
         """Drop completed transmissions that can no longer overlap anything
-        still active or resolving (ended before ``horizon``)."""
-        self._recent = [t for t in self._recent if t.end > horizon]
+        still active or resolving (ended before ``horizon``).
+
+        ``_recent`` is sorted by end time (frames complete in end order),
+        so pruning pops from the left instead of rebuilding the list.
+        """
+        recent = self._recent
+        while recent and recent[0].end <= horizon:
+            recent.popleft()
 
     # ------------------------------------------------------------------
     # Channel sensing
     # ------------------------------------------------------------------
-    def channel_busy(self, position: Position, params: LoRaParams) -> bool:
+    def channel_busy(
+        self,
+        position: Position,
+        params: LoRaParams,
+        *,
+        exclude_sender: Optional[int] = None,
+    ) -> bool:
         """CAD-style carrier sense: is any in-flight same-channel
-        transmission audible (above sensitivity) at ``position``?"""
+        transmission audible (above sensitivity) at ``position``?
+
+        ``exclude_sender`` names the sensing node itself so its own
+        in-flight frame does not read as a busy channel — a real radio
+        cannot CAD-detect its own transmission (it is not receiving while
+        it transmits).
+        """
         for tx in self._active.values():
-            if not Medium._params_compatible(tx.params, params):
+            if tx.sender_id == exclude_sender:
+                continue
+            if not _params_compatible(tx.params, params):
                 continue
             if self._link.in_range(tx.position, position, tx.params):
                 return True
@@ -357,4 +510,4 @@ class Medium:
 
     def outcome_counts(self) -> Dict[DropReason, int]:
         """Per-(transmission, listener) outcome histogram."""
-        return dict(self._stats)
+        return {DropReason(value): count for value, count in self._stats.items()}

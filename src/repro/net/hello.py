@@ -52,6 +52,11 @@ class HelloService:
         self._purge_timer: Optional[PeriodicTimer] = None
         self.hellos_sent = 0
         self.hello_entries_sent = 0
+        # Built ROUTING packets, reused beacon-to-beacon while the table's
+        # advertised rows are unchanged (packets are frozen, so sharing
+        # one object across transmissions is safe).
+        self._packets_cache: Optional[List[RoutingPacket]] = None
+        self._packets_version: int = -1
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -95,9 +100,20 @@ class HelloService:
 
     # ------------------------------------------------------------------
     def send_hello(self) -> None:
-        """Build ROUTING packet(s) from the current table and enqueue them."""
-        entries = self._table.snapshot(self_role=self._config.role)
-        for packet in self.build_packets(entries):
+        """Build ROUTING packet(s) from the current table and enqueue them.
+
+        A stable table (same advertised rows as the previous beacon, per
+        :attr:`RoutingTable.version`) reuses the previously built packets
+        instead of re-snapshotting and re-chunking the table.
+        """
+        version = self._table.version
+        packets = self._packets_cache
+        if packets is None or version != self._packets_version:
+            entries = self._table.snapshot(self_role=self._config.role)
+            packets = self.build_packets(entries)
+            self._packets_cache = packets
+            self._packets_version = version
+        for packet in packets:
             if self._enqueue(packet):
                 self.hellos_sent += 1
                 self.hello_entries_sent += len(packet.entries)

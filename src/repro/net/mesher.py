@@ -109,6 +109,10 @@ class MesherNode:
         self.trace = trace
         rngs = rngs or RngRegistry(0)
         self._rng = rngs.stream(f"mesher.{address:#06x}")
+        # Scheduler labels built once: the pump re-arms on every frame.
+        self._pump_label = f"{self.name} pump"
+        self._duty_label = f"{self.name} duty wait"
+        self._cad_label = f"{self.name} cad wait"
 
         self.radio = Radio(sim, medium, address, position, self.config.lora)
         self.radio.on_receive = self._on_frame
@@ -281,7 +285,7 @@ class MesherNode:
             return
         delay = self._backoff_delay()
         self._pump_handle = self.sim.schedule(
-            delay, self._try_send, label=f"{self.name} pump"
+            delay, self._try_send, label=self._pump_label
         )
 
     def _backoff_delay(self) -> float:
@@ -314,7 +318,7 @@ class MesherNode:
             self._pump_handle = self.sim.schedule(
                 max(resume_at - now, 0.0) + self._backoff_delay(),
                 self._try_send,
-                label=f"{self.name} duty wait",
+                label=self._duty_label,
             )
             return
 
@@ -325,7 +329,7 @@ class MesherNode:
             self._pump_handle = self.sim.schedule(
                 self._backoff_delay() + self.config.backoff_slot_s,
                 self._try_send,
-                label=f"{self.name} cad wait",
+                label=self._cad_label,
             )
             return
         self._cad_attempts = 0
@@ -361,19 +365,40 @@ class MesherNode:
             self.stats.decode_failures += 1
             self._record(EventKind.FRAME_DECODE_FAILED, error=str(exc))
             return
-        self._record(
-            EventKind.FRAME_RECEIVED,
-            packet=type(packet).__name__,
-            src=packet.src,
-            rssi=round(frame.rssi_dbm, 1),
-        )
+        trace = self.trace
+        if trace is not None:
+            if trace.enabled:
+                trace.record(
+                    self.sim.now,
+                    self.address,
+                    EventKind.FRAME_RECEIVED,
+                    packet=type(packet).__name__,
+                    src=packet.src,
+                    rssi=round(frame.rssi_dbm, 1),
+                )
+            else:
+                # Counter-only fast path: skip building the detail dict
+                # the disabled recorder would throw away (this runs for
+                # every received frame in trace-less benchmark runs).
+                trace.record(self.sim.now, self.address, EventKind.FRAME_RECEIVED)
         if isinstance(packet, RoutingPacket):
             self._handle_routing(packet, frame)
             return
         self._handle_via_packet(packet)
 
     def _handle_routing(self, packet: RoutingPacket, frame: ReceivedFrame) -> None:
-        self._record(EventKind.HELLO_RECEIVED, src=packet.src, entries=len(packet.entries))
+        trace = self.trace
+        if trace is not None:
+            if trace.enabled:
+                trace.record(
+                    self.sim.now,
+                    self.address,
+                    EventKind.HELLO_RECEIVED,
+                    src=packet.src,
+                    entries=len(packet.entries),
+                )
+            else:
+                trace.record(self.sim.now, self.address, EventKind.HELLO_RECEIVED)
         self.table.process_hello(
             packet.src, packet.entries, self.sim.now, snr_db=frame.snr_db
         )
@@ -440,13 +465,28 @@ class MesherNode:
             self.on_message(message)
 
     # ==================================================================
+    _ROUTE_EVENTS = {
+        "added": EventKind.ROUTE_ADDED,
+        "updated": EventKind.ROUTE_UPDATED,
+        "removed": EventKind.ROUTE_REMOVED,
+    }
+
     def _route_changed(self, kind: str, entry: RouteEntry) -> None:
-        event = {
-            "added": EventKind.ROUTE_ADDED,
-            "updated": EventKind.ROUTE_UPDATED,
-            "removed": EventKind.ROUTE_REMOVED,
-        }[kind]
-        self._record(event, dst=entry.address, via=entry.via, metric=entry.metric)
+        trace = self.trace
+        if trace is None:
+            return
+        event = self._ROUTE_EVENTS[kind]
+        if trace.enabled:
+            trace.record(
+                self.sim.now,
+                self.address,
+                event,
+                dst=entry.address,
+                via=entry.via,
+                metric=entry.metric,
+            )
+        else:
+            trace.record(self.sim.now, self.address, event)
 
     def _record(self, kind: EventKind, **detail) -> None:
         if self.trace is not None:

@@ -66,7 +66,7 @@ class NodeRole(enum.IntFlag):
     GATEWAY = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoutingEntry:
     """One row of a ROUTING packet: a destination the sender can reach."""
 
@@ -81,6 +81,21 @@ class RoutingEntry:
             raise ValueError(f"metric {self.metric} does not fit u8")
         if not 0 <= self.role <= 0xFF:
             raise ValueError(f"role {self.role} does not fit u8")
+
+    @classmethod
+    def trusted(cls, address: int, metric: int, role: int) -> "RoutingEntry":
+        """Construct without re-running ``__post_init__`` validation.
+
+        For fields that are already range-guaranteed — unpacked from the
+        u16/u8/u8 wire structs or copied from an existing validated entry.
+        Hello fan-out decodes tens of entries per received frame, making
+        this the hottest allocation in a converging mesh.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "address", address)
+        object.__setattr__(self, "metric", metric)
+        object.__setattr__(self, "role", role)
+        return self
 
 
 @dataclass(frozen=True)

@@ -26,10 +26,13 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional
 from repro.net.addresses import BROADCAST_ADDRESS, format_address
 from repro.net.packets import NodeRole, RoutingEntry
 
+#: Plain-int default role, hoisted out of the per-hello hot path.
+_DEFAULT_ROLE = int(NodeRole.DEFAULT)
+
 logger = logging.getLogger(__name__)
 
 
-@dataclass
+@dataclass(slots=True)
 class RouteEntry:
     """One routing-table row."""
 
@@ -82,6 +85,11 @@ class RoutingTable:
         self.snr_tiebreak_db = snr_tiebreak_db
         self._on_change = on_change
         self._routes: Dict[int, RouteEntry] = {}
+        #: Monotonic counter bumped whenever the advertised view of the
+        #: table — the (address, metric, role) rows — may have changed.
+        #: Consumers (the hello service) use it to reuse built ROUTING
+        #: packets across beacons while the table is stable.
+        self._version: int = 0
 
     # ------------------------------------------------------------------
     # Learning
@@ -97,20 +105,25 @@ class RoutingTable:
         if neighbour == self.self_address or neighbour == BROADCAST_ADDRESS:
             return
         current = self._routes.get(neighbour)
-        if current is None or current.metric >= 1:
-            entry = RouteEntry(
-                address=neighbour,
-                via=neighbour,
-                metric=1,
-                role=role if current is None else (role or current.role),
-                updated_at=now,
-                received_snr_db=snr_db,
-            )
-            kind = "added" if current is None else "updated"
-            meaningful = current is None or current.via != neighbour or current.metric != 1
-            self._routes[neighbour] = entry
-            if meaningful:
-                self._notify(kind, entry)
+        if current is not None and current.via == neighbour and current.metric == 1:
+            # Already the direct route: refresh in place (every received
+            # packet lands here, so avoid allocating a fresh entry).
+            if role and role != current.role:
+                current.role = role
+                self._version += 1
+            current.updated_at = now
+            current.received_snr_db = snr_db
+            return
+        entry = RouteEntry(
+            address=neighbour,
+            via=neighbour,
+            metric=1,
+            role=role if current is None else (role or current.role),
+            updated_at=now,
+            received_snr_db=snr_db,
+        )
+        self._routes[neighbour] = entry
+        self._notify("added" if current is None else "updated", entry)
 
     def process_hello(
         self,
@@ -125,28 +138,63 @@ class RoutingTable:
             # A radio never demodulates its own frames, but a spoofed or
             # looped hello must not install routes via ourselves.
             return 0
-        entries = list(entries)
+        if not isinstance(entries, (tuple, list)):
+            entries = list(entries)
         # The sender's self-advertisement carries its role bits (and
         # nothing else of value — reception is the direct route).
-        src_role = next(
-            (adv.role for adv in entries if adv.address == src), int(NodeRole.DEFAULT)
-        )
+        src_role = _DEFAULT_ROLE
+        for adv in entries:
+            if adv.address == src:
+                src_role = adv.role
+                break
         self.heard_from(src, now, role=src_role, snr_db=snr_db)
         changed = 0
+        self_addr = self.self_address
+        max_metric = self.max_metric
+        routes = self._routes
+        # The merge below inlines _merge_candidate (kept as a method for
+        # other callers): a converging mesh merges tens of candidates per
+        # received hello, and the call overhead dominates the arithmetic.
         for adv in entries:
-            if adv.address in (self.self_address, BROADCAST_ADDRESS):
+            address = adv.address
+            if address == self_addr or address == BROADCAST_ADDRESS:
                 continue
-            if adv.address == src:
+            if address == src:
                 # The neighbour's advertisement of itself carries no new
                 # information — hearing the hello *is* the direct route,
                 # already installed at metric 1 above.  Merging it would
                 # let a malformed self-advertisement (metric > 0) degrade
                 # that direct route via the follow-your-via rule.
                 continue
-            candidate_metric = adv.metric + 1
-            if candidate_metric > self.max_metric:
+            metric = adv.metric + 1
+            if metric > max_metric:
                 continue
-            if self._merge_candidate(adv.address, src, candidate_metric, adv.role, now):
+            role = adv.role
+            current = routes.get(address)
+            if current is None:
+                entry = RouteEntry(address=address, via=src, metric=metric, role=role, updated_at=now)
+                routes[address] = entry
+                self._notify("added", entry)
+                changed += 1
+            elif metric < current.metric:
+                entry = RouteEntry(address=address, via=src, metric=metric, role=role, updated_at=now)
+                routes[address] = entry
+                self._notify("updated", entry)
+                changed += 1
+            elif current.via == src:
+                # Follow the next hop's current view (metric may have
+                # worsened), and refresh the timestamp either way.
+                meaningful = current.metric != metric or current.role != role
+                current.metric = metric
+                current.role = role
+                current.updated_at = now
+                if meaningful:
+                    self._notify("updated", current)
+                    changed += 1
+            elif metric == current.metric and self._stronger_first_hop(src, current.via):
+                entry = RouteEntry(address=address, via=src, metric=metric, role=role, updated_at=now)
+                routes[address] = entry
+                self._notify("updated", entry)
                 changed += 1
         return changed
 
@@ -250,6 +298,13 @@ class RoutingTable:
         """Number of known destinations."""
         return len(self._routes)
 
+    @property
+    def version(self) -> int:
+        """Counter that advances whenever the advertised rows (address,
+        metric, role) may have changed.  Timestamp-only refreshes do not
+        bump it, so a stable table keeps a stable version."""
+        return self._version
+
     def destinations(self) -> List[int]:
         """Known destination addresses, sorted."""
         return sorted(self._routes)
@@ -276,9 +331,13 @@ class RoutingTable:
         where the hello's source is itself the metric-0 row.
         """
         rows = [RoutingEntry(address=self.self_address, metric=0, role=self_role)]
-        rows.extend(
-            RoutingEntry(address=e.address, metric=e.metric, role=e.role) for e in self
-        )
+        # Table rows were validated on the way in; skip re-validation.
+        routes = self._routes
+        trusted = RoutingEntry.trusted
+        append = rows.append
+        for address in sorted(routes):
+            e = routes[address]
+            append(trusted(e.address, e.metric, e.role))
         return rows
 
     def format(self) -> str:
@@ -292,5 +351,6 @@ class RoutingTable:
         return "\n".join(lines)
 
     def _notify(self, kind: str, entry: RouteEntry) -> None:
+        self._version += 1
         if self._on_change is not None:
             self._on_change(kind, entry)

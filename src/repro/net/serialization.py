@@ -40,8 +40,28 @@ class DecodeError(Exception):
     """Raised for any buffer that is not a well-formed packet."""
 
 
+#: Identity-keyed encode memo.  Packet dataclasses are all frozen, so a
+#: given object always serializes to the same bytes; the hello service
+#: re-enqueues the *same* RoutingPacket objects while the table is
+#: unchanged, making repeated encodes free.  Each value pins the packet
+#: so its id() cannot be recycled while the entry lives.
+_ENCODE_CACHE: dict = {}
+_ENCODE_CACHE_MAX = 4_096
+
+
 def encode(packet: Packet) -> bytes:
     """Serialize a packet to its over-the-air bytes."""
+    hit = _ENCODE_CACHE.get(id(packet))
+    if hit is not None and hit[0] is packet:
+        return hit[1]
+    buffer = _encode(packet)
+    if len(_ENCODE_CACHE) >= _ENCODE_CACHE_MAX:
+        _ENCODE_CACHE.clear()
+    _ENCODE_CACHE[id(packet)] = (packet, buffer)
+    return buffer
+
+
+def _encode(packet: Packet) -> bytes:
     if isinstance(packet, RoutingPacket):
         body = b"".join(
             _ROUTE_ENTRY.pack(e.address, e.metric, e.role) for e in packet.entries
@@ -69,8 +89,30 @@ def encode(packet: Packet) -> bytes:
     return frame
 
 
+#: Memo for :func:`decode`, keyed by the frame bytes.  Packets are frozen
+#: dataclasses and decoding is pure, so a broadcast frame delivered to k
+#: listeners decodes once instead of k times.  Only successful decodes are
+#: cached; malformed buffers re-raise on every call (they are rare).
+_DECODE_CACHE: dict = {}
+_DECODE_CACHE_MAX = 4_096
+
+
 def decode(buffer: bytes) -> Packet:
-    """Parse over-the-air bytes back into a packet object."""
+    """Parse over-the-air bytes back into a packet object.
+
+    Memoized on the buffer bytes: the returned packet objects are frozen,
+    so callers receiving the same frame share one instance.
+    """
+    packet = _DECODE_CACHE.get(buffer)
+    if packet is None:
+        packet = _decode(buffer)
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[buffer] = packet
+    return packet
+
+
+def _decode(buffer: bytes) -> Packet:
     if len(buffer) < pk.HEADER_SIZE:
         raise DecodeError(f"buffer of {len(buffer)} B shorter than the header")
     dst, src, type_code, payload_len = _HEADER.unpack_from(buffer)
@@ -117,10 +159,17 @@ def _decode_routing(dst: int, src: int, body: bytes) -> RoutingPacket:
         raise DecodeError(
             f"ROUTING body of {len(body)} B is not a multiple of {pk.ROUTING_ENTRY_SIZE}"
         )
+    # The struct layout guarantees metric/role fit u8 and address fits
+    # u16, so only the non-zero address rule needs an explicit check —
+    # entries skip dataclass re-validation via the trusted constructor.
+    from_wire = RoutingEntry.trusted
     entries = tuple(
-        RoutingEntry(address=addr, metric=metric, role=role)
+        from_wire(addr, metric, role)
         for addr, metric, role in _ROUTE_ENTRY.iter_unpack(body)
     )
+    for entry in entries:
+        if entry.address == 0:
+            raise DecodeError(f"bad routing-entry address {entry.address:#x}")
     return RoutingPacket(dst=dst, src=src, entries=entries)
 
 

@@ -51,9 +51,30 @@ def payload_duration(payload_bytes: int, params: LoRaParams) -> float:
     return payload_symbols(payload_bytes, params) * params.symbol_time
 
 
+#: Memo for :func:`time_on_air`, keyed by (payload length, params id).
+#: The formula is pure and params objects are frozen, so entries never go
+#: stale; ``_TOA_PARAMS`` pins each params object so ids are not recycled.
+_TOA_CACHE: dict = {}
+_TOA_PARAMS: dict = {}
+_TOA_CACHE_MAX = 16_384
+
+
 def time_on_air(payload_bytes: int, params: LoRaParams) -> float:
-    """Total frame time-on-air in seconds: preamble + payload."""
-    return preamble_duration(params) + payload_duration(payload_bytes, params)
+    """Total frame time-on-air in seconds: preamble + payload.
+
+    Memoized: a mesh computes the ToA of the same (size, params) pairs on
+    every transmit, duty-cycle check, and airtime report.
+    """
+    key = (payload_bytes, id(params))
+    toa = _TOA_CACHE.get(key)
+    if toa is None:
+        if len(_TOA_CACHE) >= _TOA_CACHE_MAX:
+            _TOA_CACHE.clear()
+            _TOA_PARAMS.clear()
+        _TOA_PARAMS[id(params)] = params
+        toa = preamble_duration(params) + payload_duration(payload_bytes, params)
+        _TOA_CACHE[key] = toa
+    return toa
 
 
 def max_payload_for_airtime(budget_s: float, params: LoRaParams, *, limit: int = 255) -> int:

@@ -105,3 +105,13 @@ class BlockFadingPathLoss(PathLossModel):
         self.base.reset()
         self._cache.clear()
         self._cache_block = -1
+
+    @property
+    def time_varying(self) -> bool:
+        return self.sigma_db > 0.0 or self.base.time_varying
+
+    @property
+    def order_sensitive(self) -> bool:
+        # Fading draws are hash-derived (order-independent); only the base
+        # model can make the realisation depend on evaluation order.
+        return self.base.order_sensitive

@@ -39,7 +39,37 @@ class PathLossModel:
         raise NotImplementedError
 
     def reset(self) -> None:
-        """Clear any cached per-link randomness (new channel realisation)."""
+        """Clear any cached per-link randomness (new channel realisation).
+
+        Callers that reset a model mid-run must also call
+        :meth:`repro.phy.link.LinkBudget.invalidate` on any budget built
+        over it, or memoized link qualities keep the old realisation.
+        """
+
+    @property
+    def time_varying(self) -> bool:
+        """True when the loss for a fixed position pair can change over
+        simulated time (e.g. block fading).  Disables position-keyed
+        memoization in :class:`~repro.phy.link.LinkBudget`."""
+        return False
+
+    @property
+    def reciprocal(self) -> bool:
+        """True when ``loss_db(a, b) == loss_db(b, a)`` exactly for every
+        position pair.  Lets :class:`~repro.phy.link.LinkBudget` fold both
+        directions of a link into one memo entry.  Defaults to False so an
+        asymmetric custom model is never folded by accident; the built-in
+        distance-based models override it."""
+        return False
+
+    @property
+    def order_sensitive(self) -> bool:
+        """True when the loss for a link is drawn lazily from a *shared*
+        RNG stream, so the set/order of first evaluations changes the
+        realisation (frozen shadowing).  Disables the medium's
+        reachability culling, which would evaluate links in a different
+        order than the per-frame resolution loop does."""
+        return False
 
 
 class FreeSpacePathLoss(PathLossModel):
@@ -54,6 +84,10 @@ class FreeSpacePathLoss(PathLossModel):
     def loss_db(self, tx: Position, rx: Position, frequency_mhz: float) -> float:
         d_km = max(distance(tx, rx), self.MIN_DISTANCE_M) / 1000.0
         return 20.0 * math.log10(d_km) + 20.0 * math.log10(frequency_mhz) + 32.44
+
+    @property
+    def reciprocal(self) -> bool:
+        return True
 
 
 class LogDistancePathLoss(PathLossModel):
@@ -94,10 +128,14 @@ class LogDistancePathLoss(PathLossModel):
         self._shadowing_cache: Dict[Tuple[Position, Position], float] = {}
 
     def loss_db(self, tx: Position, rx: Position, frequency_mhz: float) -> float:
-        d = max(distance(tx, rx), 1.0)
+        d = math.hypot(tx[0] - rx[0], tx[1] - rx[1])  # inlined distance()
+        if d < 1.0:
+            d = 1.0
         loss = self.reference_loss_db + 10.0 * self.exponent * math.log10(
             d / self.reference_distance_m
         )
+        if self.shadowing_sigma_db == 0.0:
+            return loss
         return loss + self._shadowing(tx, rx)
 
     def _shadowing(self, tx: Position, rx: Position) -> float:
@@ -113,6 +151,17 @@ class LogDistancePathLoss(PathLossModel):
 
     def reset(self) -> None:
         self._shadowing_cache.clear()
+
+    @property
+    def order_sensitive(self) -> bool:
+        return self.shadowing_sigma_db > 0.0
+
+    @property
+    def reciprocal(self) -> bool:
+        # The deterministic term depends only on |tx - rx|; the shadowing
+        # draw is keyed on the unordered pair, so both directions see the
+        # same realisation.
+        return True
 
 
 class MultiWallPathLoss(PathLossModel):
@@ -149,6 +198,12 @@ class MultiWallPathLoss(PathLossModel):
 
     def reset(self) -> None:
         self._base.reset()
+
+    @property
+    def reciprocal(self) -> bool:
+        # Wall crossings and the log-distance base are both symmetric in
+        # the segment endpoints.
+        return True
 
 
 def _orientation(p: Position, q: Position, r: Position) -> int:

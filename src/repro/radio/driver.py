@@ -92,6 +92,8 @@ class Radio:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.tx_airtime_s = 0.0
+        # Built once: transmit() runs for every frame.
+        self._txdone_label = f"radio{node_id} txdone"
 
         medium.attach(self)
 
@@ -113,6 +115,19 @@ class Radio:
         if not self._powered or self._state is not RadioState.RX:
             return False
         return self._rx_since is not None and self._rx_since <= start
+
+    def rx_params_throughout(self, start: float, end: float) -> Optional[LoRaParams]:
+        """``rx_params`` and :meth:`listening_throughout` folded into one
+        call — the medium asks both questions for every attached radio on
+        every completed frame."""
+        if (
+            self._state is not RadioState.RX
+            or not self._powered
+            or self._rx_since is None
+            or self._rx_since > start
+        ):
+            return None
+        return self._params
 
     def deliver(self, outcome: ReceptionOutcome) -> None:
         """Medium entry point: a frame finished and this radio heard it."""
@@ -199,8 +214,15 @@ class Radio:
         return self._powered
 
     def move_to(self, position: Position) -> None:
-        """Relocate the radio (mobility support)."""
+        """Relocate the radio (mobility support).
+
+        Notifies the medium so cached reachability sets and memoized link
+        qualities are recomputed against the new geometry.
+        """
+        if position == self._position:
+            return
         self._position = position
+        self._medium.notify_moved(self.node_id)
 
     # ------------------------------------------------------------------
     # Transmission
@@ -226,7 +248,7 @@ class Radio:
         self.frames_sent += 1
         self.bytes_sent += len(payload)
         self.tx_airtime_s += airtime
-        self._sim.schedule(airtime, self._finish_tx, label=f"radio{self.node_id} txdone")
+        self._sim.schedule(airtime, self._finish_tx, label=self._txdone_label)
         return airtime
 
     def _finish_tx(self) -> None:
@@ -251,7 +273,9 @@ class Radio:
         which dominates.
         """
         self._require_powered()
-        return self._medium.channel_busy(self._position, self._params)
+        return self._medium.channel_busy(
+            self._position, self._params, exclude_sender=self.node_id
+        )
 
     # ------------------------------------------------------------------
     # Energy bookkeeping

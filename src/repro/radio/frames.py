@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.phy.modulation import LoRaParams
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReceivedFrame:
     """One frame as seen by the protocol layer.
 

@@ -18,9 +18,8 @@ from __future__ import annotations
 
 import heapq
 import logging
-from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from repro.sim.errors import SchedulingError, SimulationError
 
@@ -33,17 +32,43 @@ PRIORITY_HIGH = 0
 PRIORITY_NORMAL = 1
 PRIORITY_LOW = 2
 
+#: Labels may be given as plain strings or as zero-argument callables that
+#: are only invoked when something (a profiler, a log line, a handle
+#: accessor) actually reads the label — hot paths schedule millions of
+#: events whose labels are never looked at.
+Label = Union[str, Callable[[], str]]
 
-@dataclass(order=True)
+
 class _Event:
-    """Internal heap entry. Ordering: (time, priority, seq)."""
+    """Internal event record.
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    The heap itself stores ``(time, priority, seq, event)`` tuples so that
+    heap sift comparisons stay in C (the unique ``seq`` guarantees the
+    tuple comparison never falls through to the event object).
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "fired", "label")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        label: Label = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+        self.label = label
+
+    def label_str(self) -> str:
+        """Resolve the (possibly lazy) label to a string."""
+        label = self.label
+        return label if isinstance(label, str) else label()
 
 
 class EventHandle:
@@ -54,10 +79,11 @@ class EventHandle:
     unconditionally cancel timers on state transitions.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -67,7 +93,7 @@ class EventHandle:
     @property
     def label(self) -> str:
         """Human-readable label attached at scheduling time."""
-        return self._event.label
+        return self._event.label_str()
 
     @property
     def active(self) -> bool:
@@ -76,7 +102,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing. Idempotent."""
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            if not event.fired:
+                self._sim._pending -= 1
 
 
 class Simulator:
@@ -93,12 +123,15 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._heap: list[_Event] = []
+        self._heap: list[tuple[float, int, int, _Event]] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._running: bool = False
         self._stopped: bool = False
         self._events_fired: int = 0
+        #: Live (non-cancelled, not-yet-fired) events in the queue,
+        #: maintained on push/cancel/pop so ``pending`` is O(1).
+        self._pending: int = 0
         #: Optional observability hook (see :mod:`repro.obs.profiler`).
         #: When set, every executed event is timed with wall-clock and
         #: reported via ``profiler.record(label, callback, elapsed_s)``.
@@ -120,8 +153,12 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still in the queue.
+
+        Maintained incrementally on schedule/cancel/fire, so reading it is
+        O(1) even with millions of queued events.
+        """
+        return self._pending
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -132,16 +169,28 @@ class Simulator:
         callback: Callable[[], None],
         *,
         priority: int = PRIORITY_NORMAL,
-        label: str = "",
+        label: Label = "",
     ) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` seconds from now.
 
         ``delay`` must be non-negative.  Returns an :class:`EventHandle`
-        that can cancel the event before it fires.
+        that can cancel the event before it fires.  ``label`` may be a
+        string or a zero-argument callable built only when the label is
+        actually read (profiler attached, handle inspected).
         """
         if delay < 0:
             raise SchedulingError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, priority=priority, label=label)
+        # Inlined schedule_at (minus the past-time guard, which a
+        # non-negative delay cannot trip): protocol layers schedule one or
+        # more events per frame, making this the kernel's hottest entry.
+        if not callable(callback):
+            raise SchedulingError(f"callback {callback!r} is not callable")
+        time = self._now + delay
+        event = _Event(time, priority, self._seq, callback, label)
+        heapq.heappush(self._heap, (time, priority, self._seq, event))
+        self._seq += 1
+        self._pending += 1
+        return EventHandle(event, self)
 
     def schedule_at(
         self,
@@ -149,19 +198,20 @@ class Simulator:
         callback: Callable[[], None],
         *,
         priority: int = PRIORITY_NORMAL,
-        label: str = "",
+        label: Label = "",
     ) -> EventHandle:
         """Schedule ``callback`` at an absolute simulated time."""
         if time < self._now:
             raise SchedulingError(f"cannot schedule at {time} < now {self._now}")
         if not callable(callback):
             raise SchedulingError(f"callback {callback!r} is not callable")
-        event = _Event(time=time, priority=priority, seq=self._seq, callback=callback, label=label)
+        event = _Event(time, priority, self._seq, callback, label)
+        heapq.heappush(self._heap, (time, priority, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._pending += 1
+        return EventHandle(event, self)
 
-    def call_soon(self, callback: Callable[[], None], *, label: str = "") -> EventHandle:
+    def call_soon(self, callback: Callable[[], None], *, label: Label = "") -> EventHandle:
         """Schedule ``callback`` at the current instant, after pending
         same-time events already in the queue."""
         return self.schedule(0.0, callback, label=label)
@@ -175,13 +225,15 @@ class Simulator:
         Returns ``True`` if an event fired, ``False`` if the queue is empty.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[3]
             if event.cancelled:
                 continue
             if event.time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("event queue time went backwards")
             self._now = event.time
             self._events_fired += 1
+            event.fired = True
+            self._pending -= 1
             self._execute(event)
             return True
         return False
@@ -193,7 +245,7 @@ class Simulator:
             return
         start = perf_counter()
         event.callback()
-        profiler.record(event.label, event.callback, perf_counter() - start)
+        profiler.record(event.label_str(), event.callback, perf_counter() - start)
 
     def run(self, until: Optional[float] = None, *, max_events: Optional[int] = None) -> float:
         """Run events until the horizon ``until`` (or queue exhaustion).
@@ -210,18 +262,27 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap and not self._stopped:
-                event = self._heap[0]
+            while heap and not self._stopped:
+                event = heap[0][3]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 self._now = event.time
                 self._events_fired += 1
-                self._execute(event)
+                event.fired = True
+                self._pending -= 1
+                # Inlined dispatch: the profiled path lives in _execute,
+                # the common (unprofiled) path skips the extra call frame.
+                if self.profiler is None:
+                    event.callback()
+                else:
+                    self._execute(event)
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(

@@ -42,7 +42,7 @@ class EventKind(enum.Enum):
     ACK_SENT = "ack_sent"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One timestamped record."""
 
@@ -77,12 +77,15 @@ class TraceRecorder:
         #: Events that listeners saw but the capacity-bounded store did not.
         self.events_dropped = 0
         self._events: List[TraceEvent] = []
-        self._counts: Dict[EventKind, int] = {k: 0 for k in EventKind}
+        # Keyed by the kind's value string: record() runs for every
+        # protocol event even when disabled, and member-keyed lookups
+        # would pay a Python-level enum.__hash__ each time.
+        self._counts: Dict[str, int] = {k._value_: 0 for k in EventKind}
         self._listeners: List[Callable[[TraceEvent], None]] = []
 
     def record(self, time: float, node: int, kind: EventKind, **detail: Any) -> None:
         """Append one event (or just count it when recording is disabled)."""
-        self._counts[kind] += 1
+        self._counts[kind._value_] += 1
         if not self.enabled:
             return
         event = TraceEvent(time=time, node=node, kind=kind, detail=detail)
@@ -103,7 +106,7 @@ class TraceRecorder:
     # ------------------------------------------------------------------
     def count(self, kind: EventKind) -> int:
         """Total occurrences of ``kind`` (counted even when disabled)."""
-        return self._counts[kind]
+        return self._counts[kind._value_]
 
     def events(
         self,

@@ -38,3 +38,88 @@ class TestRepeatSeeds:
         mean, ci, raw = repeat_seeds(lambda seed: None, [1, 2])
         assert math.isnan(mean)
         assert all(math.isnan(v) for v in raw)
+
+
+# Module-level workers: multiprocessing can only ship picklable
+# (importable) callables to the pool.
+def _square(point):
+    return point * point
+
+
+def _simulate_point(seed):
+    from repro.net.api import MeshNetwork
+    from repro.net.config import MesherConfig
+    from repro.topology.placement import line_positions
+
+    cfg = MesherConfig(hello_period_s=60.0, route_timeout_s=300.0, purge_period_s=30.0)
+    net = MeshNetwork.from_positions(line_positions(3), config=cfg, seed=seed)
+    t = net.run_until_converged(timeout_s=3600.0, check_period_s=10.0)
+    return (t, net.total_frames_sent(), net.total_bytes_sent())
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_process_independent(self):
+        from repro.experiments.sweep import derive_seed
+
+        # Fixed expectations: sha256-based, so stable across processes,
+        # platforms, and interpreter restarts (unlike salted hash()).
+        assert derive_seed(0, 0) == derive_seed(0, 0)
+        assert derive_seed(0, 0) != derive_seed(0, 1)
+        assert derive_seed(0, 0) != derive_seed(1, 0)
+        assert all(0 <= derive_seed(5, i) < 2**64 for i in range(100))
+
+    def test_distinct_across_indices(self):
+        from repro.experiments.sweep import derive_seed
+
+        seeds = [derive_seed(7, i) for i in range(1000)]
+        assert len(set(seeds)) == 1000
+
+
+class TestRunParallel:
+    def test_serial_fallback(self):
+        from repro.experiments.sweep import run_parallel
+
+        assert run_parallel([1, 2, 3], _square) == [1, 4, 9]
+        assert run_parallel([1, 2, 3], _square, workers=1) == [1, 4, 9]
+        assert run_parallel([], _square, workers=4) == []
+
+    def test_serial_accepts_unpicklable_fn(self):
+        from repro.experiments.sweep import run_parallel
+
+        assert run_parallel([2], lambda p: p + 1) == [3]
+
+    def test_negative_workers_rejected(self):
+        import pytest
+
+        from repro.experiments.sweep import run_parallel
+
+        with pytest.raises(ValueError):
+            run_parallel([1], _square, workers=-1)
+
+    def test_parallel_matches_serial_order(self):
+        from repro.experiments.sweep import run_parallel
+
+        points = list(range(20))
+        assert run_parallel(points, _square, workers=4) == [p * p for p in points]
+
+    def test_parallel_simulation_identical_to_serial(self):
+        from repro.experiments.sweep import derive_seed, run_parallel
+
+        seeds = [derive_seed(99, i) for i in range(4)]
+        serial = run_parallel(seeds, _simulate_point)
+        parallel = run_parallel(seeds, _simulate_point, workers=4)
+        assert serial == parallel
+
+    def test_repeat_seeds_parallel_matches_serial(self):
+        from repro.experiments.sweep import repeat_seeds
+
+        def first(result):
+            return result
+
+        serial = repeat_seeds(_convergence_only, [1, 2, 3, 4])
+        parallel = repeat_seeds(_convergence_only, [1, 2, 3, 4], workers=4)
+        assert serial == parallel
+
+
+def _convergence_only(seed):
+    return _simulate_point(seed)[0]

@@ -1,0 +1,142 @@
+"""The medium's fast paths must be invisible to simulated outcomes.
+
+Reachability culling and link-budget memoization change wall-clock cost
+only: for any fixed seed, the trace stream, the drop-reason histogram,
+and every node's statistics must be byte-identical with the fast paths
+on or off — including under mobility, attach/detach churn, and CAD
+self-sensing.
+"""
+
+import pytest
+
+from repro.medium.channel import DropReason, Medium
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.phy.airtime import time_on_air
+from repro.phy.link import LinkBudget
+from repro.phy.pathloss import LogDistancePathLoss
+from repro.topology.placement import grid_positions
+
+from tests.conftest import build_radios
+
+CFG = MesherConfig(hello_period_s=60.0, route_timeout_s=300.0, purge_period_s=30.0)
+
+
+def _run_network(spacing: float, seed: int, *, fast: bool, duration: float = 900.0):
+    net = MeshNetwork.from_positions(
+        grid_positions(3, 3, spacing_m=spacing), config=CFG, seed=seed
+    )
+    if not fast:
+        net.medium.use_reachability = False
+        net.medium._link.cache_enabled = False
+    net.run(for_s=duration)
+    events = tuple(
+        (e.time, e.node, e.kind, tuple(sorted(e.detail.items())))
+        for e in net.trace.events()
+    )
+    stats = tuple(
+        (
+            n.address,
+            n.radio.frames_sent,
+            n.radio.frames_received,
+            n.radio.frames_crc_failed,
+            tuple(sorted((r.address, r.via, r.metric) for r in n.table)),
+        )
+        for n in net.nodes
+    )
+    return events, net.medium.outcome_counts(), stats
+
+
+class TestFastSlowEquivalence:
+    @pytest.mark.parametrize("spacing", [80.0, 200.0])
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_trace_and_outcomes_identical(self, spacing, seed):
+        fast = _run_network(spacing, seed, fast=True)
+        slow = _run_network(spacing, seed, fast=False)
+        assert fast[0] == slow[0], "trace streams diverged"
+        assert fast[1] == slow[1], "drop-reason histograms diverged"
+        assert fast[2] == slow[2], "node statistics diverged"
+
+    def test_repeat_run_is_deterministic(self):
+        first = _run_network(100.0, 9, fast=True)
+        second = _run_network(100.0, 9, fast=True)
+        assert first == second
+
+
+class TestReachabilityInvalidation:
+    def _deliveries(self, medium):
+        return medium.outcome_counts()[DropReason.DELIVERED]
+
+    def test_move_into_range_is_observed(self, sim, medium, params):
+        a, b = build_radios(sim, medium, [(0.0, 0.0), (5000.0, 0.0)], params)
+        a.transmit(bytes(10))
+        sim.run(until=2.0)
+        assert self._deliveries(medium) == 0  # far out of range
+        b.move_to((60.0, 0.0))
+        a.transmit(bytes(10))
+        sim.run(until=4.0)
+        assert self._deliveries(medium) == 1  # cached cull must be gone
+
+    def test_move_out_of_range_is_observed(self, sim, medium, params):
+        a, b = build_radios(sim, medium, [(0.0, 0.0), (60.0, 0.0)], params)
+        a.transmit(bytes(10))
+        sim.run(until=2.0)
+        assert self._deliveries(medium) == 1
+        b.move_to((5000.0, 0.0))
+        a.transmit(bytes(10))
+        sim.run(until=4.0)
+        assert self._deliveries(medium) == 1
+
+    def test_attach_after_cache_warm_is_seen(self, sim, medium, params):
+        from repro.radio.driver import Radio
+
+        (a,) = build_radios(sim, medium, [(0.0, 0.0)], params)
+        a.transmit(bytes(10))
+        sim.run(until=2.0)  # warms the reachable set for a's position
+        b = Radio(sim, medium, 2, (70.0, 0.0), params)
+        b.start_receive()
+        a.transmit(bytes(10))
+        sim.run(until=4.0)
+        assert self._deliveries(medium) == 1
+
+    def test_detach_after_cache_warm_is_seen(self, sim, medium, params):
+        a, b = build_radios(sim, medium, [(0.0, 0.0), (60.0, 0.0)], params)
+        a.transmit(bytes(10))
+        sim.run(until=2.0)
+        assert self._deliveries(medium) == 1
+        medium.detach(b.node_id)
+        a.transmit(bytes(10))
+        sim.run(until=4.0)
+        assert self._deliveries(medium) == 1  # nobody left to hear it
+
+    def test_mobility_equivalent_with_and_without_culling(self, sim, params):
+        def run(fast: bool):
+            local_sim = type(sim)()
+            medium = Medium(local_sim, LinkBudget(LogDistancePathLoss()))
+            medium.use_reachability = fast
+            if not fast:
+                medium._link.cache_enabled = False
+            a, b = build_radios(
+                local_sim, medium, [(0.0, 0.0), (100.0, 0.0)], params
+            )
+            for step in range(8):
+                b.move_to((60.0 + 40.0 * (step % 3), 0.0))
+                a.transmit(bytes(12))
+                local_sim.run(until=local_sim.now + 2.0)
+            return medium.outcome_counts(), a.frames_sent, b.frames_received
+
+        assert run(True) == run(False)
+
+
+class TestCadSelfSensing:
+    def test_transmitter_does_not_sense_itself(self, sim, medium, params):
+        a, b = build_radios(sim, medium, [(0.0, 0.0), (50.0, 0.0)], params)
+        a.transmit(bytes(50))
+        sim.run(until=time_on_air(50, params) / 2)  # mid-flight
+        # The channel IS busy for a third party at a's position...
+        assert medium.channel_busy((0.0, 0.0), params)
+        # ...but not for the transmitter itself (a radio cannot CAD-detect
+        # its own frame: it is not receiving while it transmits).
+        assert not medium.channel_busy(
+            (0.0, 0.0), params, exclude_sender=a.node_id
+        )

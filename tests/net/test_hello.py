@@ -114,3 +114,63 @@ class TestPurge:
         service.start()
         sim.run(until=250.0)
         assert not table.has_route(0x0002)
+
+
+class TestPacketReuse:
+    """Beacon packets are rebuilt only when the advertised rows change."""
+
+    def test_stable_table_reuses_packet_objects(self, sim, setup):
+        table, sent, service, config = setup
+        table.heard_from(0x0002, 0.0)
+        service.start()
+        sim.run(until=config.hello_period_s * 3.5)
+        assert len(sent) >= 3
+        assert all(p is sent[0] for p in sent[1:])
+
+    def test_table_change_rebuilds_packets(self, sim, setup):
+        table, sent, service, config = setup
+        table.heard_from(0x0002, 0.0)
+        service.start()
+        sim.run(until=config.hello_period_s * 1.5)
+        first = sent[-1]
+        table.heard_from(0x0003, sim.now)  # new route -> new advertisement
+        sim.run(until=config.hello_period_s * 2.5)
+        assert sent[-1] is not first
+        assert {e.address for e in sent[-1].entries} == {ME, 0x0002, 0x0003}
+
+    def test_timestamp_refresh_does_not_rebuild(self, sim, setup):
+        table, sent, service, config = setup
+        table.heard_from(0x0002, 0.0)
+        service.start()
+        sim.run(until=config.hello_period_s * 1.5)
+        version = table.version
+        table.heard_from(0x0002, sim.now)  # refresh only: same rows
+        assert table.version == version
+        sim.run(until=config.hello_period_s * 2.5)
+        assert sent[-1] is sent[0]
+
+    def test_version_bumps_on_add_update_remove(self, sim):
+        table = RoutingTable(ME, route_timeout=10.0)
+        v0 = table.version
+        table.heard_from(0x0002, 0.0)
+        assert table.version > v0
+        v1 = table.version
+        entries = (RoutingEntry(address=0x0003, metric=2, role=0),)
+        table.process_hello(0x0002, entries, 1.0)
+        assert table.version > v1
+        v2 = table.version
+        table.purge(now=100.0)
+        assert table.size == 0
+        assert table.version > v2
+
+    def test_reused_packets_encode_identically(self, sim, setup):
+        from repro.net import serialization
+
+        table, sent, service, config = setup
+        table.heard_from(0x0002, 0.0)
+        service.start()
+        sim.run(until=config.hello_period_s * 2.5)
+        buffers = [serialization.encode(p) for p in sent]
+        assert len(set(buffers)) == 1
+        decoded = serialization.decode(buffers[0])
+        assert {e.address for e in decoded.entries} == {ME, 0x0002}

@@ -1,0 +1,172 @@
+"""Cache-correctness tests for the memoized link budget.
+
+The memo must be an invisible optimisation: cached and uncached budgets
+agree bit-for-bit, and every documented invalidation trigger (movement,
+attribute edits, model resets, params changes) really drops stale
+entries.
+"""
+
+import math
+
+import pytest
+
+from repro.phy.link import (
+    LinkBudget,
+    NOISE_FIGURE_DB,
+    noise_floor_dbm,
+    sensitivity_dbm,
+    snr_floor_db,
+)
+from repro.phy.modulation import Bandwidth, LoRaParams, SpreadingFactor
+from repro.phy.pathloss import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    MultiWallPathLoss,
+    PathLossModel,
+)
+
+A = (0.0, 0.0)
+B = (120.0, 35.0)
+
+
+class TestCachedEqualsUncached:
+    def test_same_quality_with_and_without_cache(self):
+        params = LoRaParams()
+        cached = LinkBudget(LogDistancePathLoss())
+        uncached = LinkBudget(LogDistancePathLoss())
+        uncached.cache_enabled = False
+        for pair in [(A, B), (B, A), (A, (300.0, 0.0)), ((1.0, 1.0), (2.0, 2.0))]:
+            q1 = cached.evaluate(*pair, params)
+            q2 = uncached.evaluate(*pair, params)
+            assert q1 == q2
+        # Second pass must hit the memo and still agree.
+        for pair in [(A, B), (B, A)]:
+            assert cached.evaluate(*pair, params) == uncached.evaluate(*pair, params)
+
+    def test_cache_hit_returns_identical_object(self):
+        budget = LinkBudget(LogDistancePathLoss())
+        params = LoRaParams()
+        assert budget.evaluate(A, B, params) is budget.evaluate(A, B, params)
+
+
+class TestReciprocalFolding:
+    def test_both_directions_share_one_entry(self):
+        budget = LinkBudget(LogDistancePathLoss())
+        params = LoRaParams()
+        forward = budget.evaluate(A, B, params)
+        backward = budget.evaluate(B, A, params)
+        assert forward is backward  # folded into one memo slot
+        assert len(budget._quality_cache) == 1
+
+    def test_asymmetric_gains_disable_folding(self):
+        budget = LinkBudget(
+            LogDistancePathLoss(), tx_antenna_gain_dbi=3.0, rx_antenna_gain_dbi=0.0
+        )
+        params = LoRaParams()
+        budget.evaluate(A, B, params)
+        budget.evaluate(B, A, params)
+        assert len(budget._quality_cache) == 2
+
+    def test_custom_model_defaults_to_not_reciprocal(self):
+        class Asymmetric(PathLossModel):
+            def loss_db(self, tx, rx, frequency_mhz):
+                return 60.0 + tx[0]  # depends on direction
+
+        budget = LinkBudget(Asymmetric())
+        params = LoRaParams()
+        q_ab = budget.evaluate(A, B, params)
+        q_ba = budget.evaluate(B, A, params)
+        assert q_ab.rssi_dbm != q_ba.rssi_dbm
+        assert len(budget._quality_cache) == 2
+
+    def test_builtin_models_declare_reciprocity(self):
+        assert FreeSpacePathLoss().reciprocal
+        assert LogDistancePathLoss().reciprocal
+        assert MultiWallPathLoss([]).reciprocal
+
+
+class TestInvalidation:
+    def test_gain_edit_plus_invalidate_recomputes(self):
+        budget = LinkBudget(LogDistancePathLoss())
+        params = LoRaParams()
+        before = budget.evaluate(A, B, params)
+        budget.fixed_loss_db = 10.0
+        budget.invalidate()
+        after = budget.evaluate(A, B, params)
+        assert after.rssi_dbm == pytest.approx(before.rssi_dbm - 10.0)
+
+    def test_invalidate_recomputes_symmetry_flag(self):
+        budget = LinkBudget(LogDistancePathLoss())
+        params = LoRaParams()
+        budget.tx_antenna_gain_dbi = 5.0  # now asymmetric
+        budget.invalidate()
+        budget.evaluate(A, B, params)
+        budget.evaluate(B, A, params)
+        assert len(budget._quality_cache) == 2
+
+    def test_distinct_params_objects_get_distinct_entries(self):
+        budget = LinkBudget(LogDistancePathLoss())
+        p7 = LoRaParams(spreading_factor=SpreadingFactor.SF7)
+        p12 = LoRaParams(spreading_factor=SpreadingFactor.SF12)
+        q7 = budget.evaluate(A, B, p7)
+        q12 = budget.evaluate(A, B, p12)
+        # Same geometry, different demodulation floor.
+        assert q7.rssi_dbm == q12.rssi_dbm
+        assert q7.above_sensitivity != q12.above_sensitivity or q7 == q12
+        assert len(budget._quality_cache) == 2
+
+    def test_pathloss_reset_with_invalidate_changes_realisation(self):
+        import random
+
+        model = LogDistancePathLoss(shadowing_sigma_db=6.0, rng=random.Random(3))
+        budget = LinkBudget(model)
+        params = LoRaParams()
+        first = budget.evaluate(A, B, params)
+        # Without invalidate the memo pins the old draw even after reset.
+        model.reset()
+        assert budget.evaluate(A, B, params) is first
+        budget.invalidate()
+        second = budget.evaluate(A, B, params)
+        assert second.rssi_dbm != first.rssi_dbm  # fresh shadowing draw
+
+    def test_time_varying_model_disables_cache(self):
+        class Fading(PathLossModel):
+            def loss_db(self, tx, rx, frequency_mhz):
+                return 80.0
+
+            @property
+            def time_varying(self):
+                return True
+
+        budget = LinkBudget(Fading())
+        assert not budget.cache_enabled
+        budget.evaluate(A, B, LoRaParams())
+        assert budget._quality_cache == {}
+
+
+class TestPrecomputedFloors:
+    """The table-driven floors must agree with the closed-form maths."""
+
+    def test_noise_floor_table_matches_formula(self):
+        for bw in Bandwidth:
+            expected = -174.0 + 10.0 * math.log10(bw.hz) + NOISE_FIGURE_DB
+            assert noise_floor_dbm(bw) == pytest.approx(expected, abs=1e-12)
+
+    def test_non_default_noise_figure_bypasses_table(self):
+        got = noise_floor_dbm(Bandwidth.BW125, noise_figure_db=9.0)
+        assert got == pytest.approx(-174.0 + 10.0 * math.log10(125_000) + 9.0)
+
+    def test_sensitivity_table_matches_components(self):
+        for bw in Bandwidth:
+            for sf in SpreadingFactor:
+                params = LoRaParams(bandwidth=bw, spreading_factor=sf)
+                assert sensitivity_dbm(params) == pytest.approx(
+                    noise_floor_dbm(bw) + snr_floor_db(sf), abs=1e-12
+                )
+
+    def test_quality_snr_consistent_with_floors(self):
+        budget = LinkBudget(LogDistancePathLoss())
+        params = LoRaParams()
+        q = budget.evaluate(A, B, params)
+        assert q.snr_db == pytest.approx(q.rssi_dbm - noise_floor_dbm(params.bandwidth))
+        assert q.above_sensitivity == (q.snr_db >= snr_floor_db(params.spreading_factor))

@@ -265,3 +265,62 @@ class TestProfilerHook:
         sim.schedule(1.0, lambda: None, label="stepped")
         assert sim.step() is True
         assert profiler.total_events == 1
+
+
+class TestPendingBookkeeping:
+    """``pending`` is maintained incrementally (O(1) reads)."""
+
+    def test_pending_tracks_schedule_fire_cancel(self, sim):
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending == 5
+        handles[0].cancel()
+        handles[0].cancel()  # idempotent: must not double-decrement
+        assert sim.pending == 4
+        sim.run(until=2.5)  # fires t=2.0 (t=1.0 was cancelled)
+        assert sim.pending == 3
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_does_not_underflow(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.pending == 0
+        handle.cancel()
+        assert sim.pending == 0
+
+    def test_pending_matches_live_heap_contents(self, sim):
+        import random as _random
+
+        rng = _random.Random(42)
+        handles = []
+        for _ in range(200):
+            handles.append(sim.schedule(rng.uniform(0.0, 50.0), lambda: None))
+        for handle in rng.sample(handles, 80):
+            handle.cancel()
+        live = sum(
+            1 for (_, _, _, e) in sim._heap if not e.cancelled and not e.fired
+        )
+        assert sim.pending == live == 120
+
+
+class TestLazyLabels:
+    def test_callable_label_resolved_only_on_read(self, sim):
+        calls = []
+
+        def label():
+            calls.append(1)
+            return "expensive"
+
+        handle = sim.schedule(1.0, lambda: None, label=label)
+        sim.run()
+        assert calls == []  # never read, never built
+        assert handle.label == "expensive"
+        assert calls == [1]
+
+    def test_profiler_resolves_lazy_labels(self):
+        from repro.obs.profiler import KernelProfiler
+
+        sim = Simulator()
+        KernelProfiler().attach(sim)
+        sim.schedule(1.0, lambda: None, label=lambda: "lazy-evt")
+        sim.run()
