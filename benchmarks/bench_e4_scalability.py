@@ -10,31 +10,67 @@ diameter x hello period), and control bytes grow superlinearly in N
 """
 
 import random
+import time
+
+import pytest
 
 from benchmarks.conftest import BENCH_CONFIG, BENCH_WORKERS
 from repro.experiments.report import print_table
 from repro.experiments.sweep import run_parallel
 from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
 from repro.phy.link import LinkBudget
+from repro.phy.modulation import Bandwidth, LoRaParams
 from repro.phy.pathloss import LogDistancePathLoss
+from repro.phy.regions import UNRESTRICTED
 from repro.topology.graphs import connectivity_graph, graph_stats
 from repro.topology.placement import random_positions
 
+#: Profile for the 100..1000-node points.  The default bench profile
+#: (EU868, BW125) cannot scale there: a 1000-entry table beacons as 17
+#: frames per hello, which the 1 % duty cycle throttles into uselessness
+#: and 0.4 s BW125 frames saturate the channel outright.  BW500 cuts
+#: time-on-air 4x, UNRESTRICTED lifts the regulatory throttle, and
+#: ``max_metric=64`` admits the 35+-hop diameters these sparse
+#: placements produce (the default 16 would make full convergence
+#: impossible, silently).
+LARGE_N_CONFIG = MesherConfig(
+    lora=LoRaParams(bandwidth=Bandwidth.BW500),
+    region=UNRESTRICTED,
+    hello_period_s=120.0,
+    route_timeout_s=7200.0,
+    purge_period_s=900.0,
+    max_metric=64,
+    send_queue_capacity=64,
+)
 
-def connected_placement(n: int, seed: int):
-    """A random placement that is guaranteed radio-connected."""
+
+def _connected_placement(n: int, seed: int, config, side_scale: float):
     budget = LinkBudget(LogDistancePathLoss())
     rng = random.Random(seed)
-    side = 110.0 * max(2.0, (n / 2.0) ** 0.5)
+    side = side_scale * max(2.0, (n / 2.0) ** 0.5)
     for attempt in range(50):
         positions = random_positions(
             n, width_m=side, height_m=side, rng=rng, min_separation_m=30.0
         )
-        graph = connectivity_graph(positions, budget, BENCH_CONFIG.lora)
+        graph = connectivity_graph(positions, budget, config.lora)
         stats = graph_stats(graph)
         if stats.connected:
             return positions, stats
     raise RuntimeError(f"no connected {n}-node placement found")
+
+
+def connected_placement(n: int, seed: int):
+    """A random placement that is guaranteed radio-connected."""
+    return _connected_placement(n, seed, BENCH_CONFIG, side_scale=110.0)
+
+
+def connected_placement_large(n: int, seed: int):
+    """Like :func:`connected_placement` but scaled to BW500's shorter
+    range (70 m vs 137 m), keeping mean degree near the connectivity
+    threshold — the sparsest (and therefore cheapest) placements that
+    still converge."""
+    return _connected_placement(n, seed, LARGE_N_CONFIG, side_scale=66.0)
 
 
 def measure(n: int, seed: int):
@@ -45,6 +81,26 @@ def measure(n: int, seed: int):
         "n": n,
         "diameter": stats.diameter,
         "convergence_s": convergence,
+        "control_frames": net.total_frames_sent(),
+        "control_bytes": net.total_bytes_sent(),
+        "airtime_s": net.total_airtime_s(),
+    }
+
+
+def measure_large(n: int, seed: int):
+    """One large-N point under :data:`LARGE_N_CONFIG`, with wall-clock."""
+    positions, stats = connected_placement_large(n, seed)
+    net = MeshNetwork.from_positions(
+        positions, config=LARGE_N_CONFIG, seed=seed, trace_enabled=False
+    )
+    start = time.perf_counter()
+    convergence = net.run_until_converged(timeout_s=86400.0, check_period_s=120.0)
+    wall_s = time.perf_counter() - start
+    return {
+        "n": n,
+        "diameter": stats.diameter,
+        "convergence_s": convergence,
+        "wall_s": wall_s,
         "control_frames": net.total_frames_sent(),
         "control_bytes": net.total_bytes_sent(),
         "airtime_s": net.total_airtime_s(),
@@ -95,3 +151,46 @@ def test_e4_convergence_vs_network_size(benchmark):
     for r in results:
         if r["diameter"] > 0:
             assert r["convergence_s"] < (r["diameter"] + 4) * 2 * BENCH_CONFIG.hello_period_s
+
+
+def _check_large_point(r):
+    print_table(
+        ["nodes", "diameter", "convergence (s)", "wall (s)", "hello frames", "hello bytes"],
+        [
+            (
+                r["n"],
+                r["diameter"],
+                f"{r['convergence_s']:.0f}" if r["convergence_s"] is not None else "timeout",
+                f"{r['wall_s']:.1f}",
+                r["control_frames"],
+                r["control_bytes"],
+            )
+        ],
+        title=f"E4 large-N: {r['n']} nodes under LARGE_N_CONFIG",
+    )
+    assert r["convergence_s"] is not None, "large-N placement failed to converge"
+    # Information crosses a couple of hops per hello period, so full
+    # convergence lands within a few diameters' worth of periods.
+    assert r["convergence_s"] < (r["diameter"] + 4) * 2 * LARGE_N_CONFIG.hello_period_s
+
+
+def test_e4_large_n_100(benchmark):
+    result = benchmark.pedantic(lambda: measure_large(100, seed=5), rounds=1, iterations=1)
+    _check_large_point(result)
+
+
+@pytest.mark.slow
+def test_e4_large_n_300(benchmark):
+    result = benchmark.pedantic(lambda: measure_large(300, seed=5), rounds=1, iterations=1)
+    _check_large_point(result)
+
+
+@pytest.mark.slow
+def test_e4_large_n_1000(benchmark):
+    """The headline scale point: 1000 nodes, random connected placement,
+    cold start to full convergence.  Infeasible before the batch PHY
+    engine; the wall-clock guard is deliberately loose (CI hardware
+    varies) — BENCH_perf.json records the measured numbers."""
+    result = benchmark.pedantic(lambda: measure_large(1000, seed=5), rounds=1, iterations=1)
+    _check_large_point(result)
+    assert result["wall_s"] < 1800.0

@@ -32,7 +32,7 @@ def run_parallel(
     fn: Callable[[Any], Any],
     *,
     workers: Optional[int] = None,
-    chunksize: int = 1,
+    chunksize: Optional[int] = None,
 ) -> List[Any]:
     """Map ``fn`` over sweep points, optionally across worker processes.
 
@@ -45,12 +45,21 @@ def run_parallel(
     helper usable for quick runs and for callers whose ``fn`` is not
     picklable.  With more workers, ``fn`` must be a module-level callable
     (the usual :mod:`multiprocessing` constraint).
+
+    ``chunksize=None`` (the default) derives ``max(1, len(points) // (4 *
+    workers))`` — roughly four batches per worker, which amortises the
+    per-point IPC overhead on large sweeps while still load-balancing
+    uneven point runtimes.  Pass an explicit ``chunksize`` to override.
     """
     points = list(points)
     if workers is not None and workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
+    if chunksize is not None and chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
     if workers is None or workers <= 1 or len(points) <= 1:
         return [fn(point) for point in points]
+    if chunksize is None:
+        chunksize = max(1, len(points) // (4 * workers))
     with multiprocessing.Pool(processes=min(workers, len(points))) as pool:
         return pool.map(fn, points, chunksize)
 

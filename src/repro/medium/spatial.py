@@ -1,0 +1,143 @@
+"""Uniform spatial hash grid for O(cell-neighborhood) candidate lookup.
+
+At N=1000 nodes, "who can possibly hear this sender" must not be an
+O(N) scan per frame.  The grid buckets node positions into square cells
+keyed on the maximum communication range, so a range query touches only
+the cells intersecting the query disk — a 3×3 neighborhood when the cell
+size equals the radius.
+
+Maintenance is **incremental**: attach inserts, detach removes, and a
+move re-buckets only when the node crosses a cell boundary.  The grid is
+a *candidate* index, deliberately conservative: `near()` returns every
+node in the touched cells (a superset of the disk), and callers filter
+with the exact PHY margin test.  Correctness therefore never depends on
+the cell size — only performance does.
+
+Insertion order is preserved within each cell (dict-backed buckets), so
+iteration is deterministic for a fixed attach/move history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+Position = Tuple[float, float]
+
+_CellKey = Tuple[int, int]
+
+
+class SpatialGrid:
+    """A uniform hash grid over planar positions.
+
+    Parameters
+    ----------
+    cell_size_m:
+        Edge length of one square cell.  Choose the maximum communication
+        range so a ``near(pos, max_range)`` query touches a 3×3 block.
+    """
+
+    __slots__ = ("cell_size", "_cells", "_where")
+
+    def __init__(self, cell_size_m: float) -> None:
+        if not cell_size_m > 0.0:
+            raise ValueError(f"cell size must be positive, got {cell_size_m}")
+        self.cell_size = cell_size_m
+        # cell -> {node_id: position}; dict-of-dicts keeps removal O(1)
+        # and iteration order deterministic (insertion order).
+        self._cells: Dict[_CellKey, Dict[int, Position]] = {}
+        self._where: Dict[int, Tuple[_CellKey, Position]] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _key(self, position: Position) -> _CellKey:
+        size = self.cell_size
+        return (int(position[0] // size), int(position[1] // size))
+
+    def insert(self, node_id: int, position: Position) -> None:
+        """Add a node (replaces any previous position for the id)."""
+        if node_id in self._where:
+            self.remove(node_id)
+        key = self._key(position)
+        self._cells.setdefault(key, {})[node_id] = position
+        self._where[node_id] = (key, position)
+
+    def remove(self, node_id: int) -> None:
+        """Drop a node; unknown ids are a no-op."""
+        entry = self._where.pop(node_id, None)
+        if entry is None:
+            return
+        key, _ = entry
+        cell = self._cells.get(key)
+        if cell is not None:
+            cell.pop(node_id, None)
+            if not cell:
+                del self._cells[key]
+
+    def move(self, node_id: int, position: Position) -> None:
+        """Update a node's position, re-bucketing only across cell
+        boundaries (the common small step stays O(1) dict writes)."""
+        entry = self._where.get(node_id)
+        if entry is None:
+            self.insert(node_id, position)
+            return
+        old_key, _ = entry
+        new_key = self._key(position)
+        if new_key == old_key:
+            self._cells[old_key][node_id] = position
+            self._where[node_id] = (old_key, position)
+            return
+        self.remove(node_id)
+        self._cells.setdefault(new_key, {})[node_id] = position
+        self._where[node_id] = (new_key, position)
+
+    def clear(self) -> None:
+        """Remove every node."""
+        self._cells.clear()
+        self._where.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def near(self, position: Position, radius_m: float) -> List[int]:
+        """Node ids in every cell intersecting the disk around ``position``.
+
+        A superset of the nodes within ``radius_m`` — callers apply the
+        exact range test.  Order is cell-scan order (deterministic for a
+        fixed history).
+        """
+        if radius_m < 0.0:
+            return []
+        size = self.cell_size
+        x, y = position
+        cx_lo = int((x - radius_m) // size)
+        cx_hi = int((x + radius_m) // size)
+        cy_lo = int((y - radius_m) // size)
+        cy_hi = int((y + radius_m) // size)
+        cells = self._cells
+        out: List[int] = []
+        for cx in range(cx_lo, cx_hi + 1):
+            for cy in range(cy_lo, cy_hi + 1):
+                bucket = cells.get((cx, cy))
+                if bucket:
+                    out.extend(bucket)
+        return out
+
+    def position_of(self, node_id: int) -> Optional[Position]:
+        """The stored position for a node, or None."""
+        entry = self._where.get(node_id)
+        return entry[1] if entry is not None else None
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._where
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._where)
+
+    @property
+    def cell_count(self) -> int:
+        """Number of non-empty cells (diagnostics)."""
+        return len(self._cells)

@@ -232,6 +232,15 @@ class MeshNetwork:
         if len(live) < 2:
             return True
         if require_all:
+            # O(N) pre-check before the O(N²) pair verification: a table
+            # smaller than N-1 entries cannot cover every other node, and
+            # during flooding that is the common case — periodic converged()
+            # polls on large networks would otherwise pay the full scan on
+            # every check.
+            needed = len(live) - 1
+            for node in live:
+                if node.table.size < needed:
+                    return False
             for node in live:
                 for other in live:
                     if other.address != node.address and not node.table.has_route(other.address):

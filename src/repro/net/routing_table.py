@@ -20,11 +20,11 @@ Update rules (RIP-style, as the firmware implements them):
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.net.addresses import BROADCAST_ADDRESS, format_address
-from repro.net.packets import NodeRole, RoutingEntry
+from repro.net.packets import NodeRole, RoutingEntry, rows_of
 
 #: Plain-int default role, hoisted out of the per-hello hot path.
 _DEFAULT_ROLE = int(NodeRole.DEFAULT)
@@ -42,6 +42,9 @@ class RouteEntry:
     role: int  # advertised role bits of the destination
     updated_at: float  # last refresh time
     received_snr_db: Optional[float] = None  # link SNR of the teaching hello
+    # Memoized wire row (address, metric, role) for snapshot(); rebuilt
+    # lazily whenever metric/role drift from the cached copy.
+    advertised: Optional[RoutingEntry] = field(default=None, compare=False, repr=False)
 
     @property
     def is_neighbour(self) -> bool:
@@ -90,6 +93,18 @@ class RoutingTable:
         #: Consumers (the hello service) use it to reuse built ROUTING
         #: packets across beacons while the table is stable.
         self._version: int = 0
+        #: Companion counter for the merge memo: bumped whenever any
+        #: entry's ``received_snr_db`` changes *value* (timestamp-only
+        #: refreshes keep it stable).  Together with ``_version`` it
+        #: covers every input the merge rules read.
+        self._snr_version: int = 0
+        #: Per-neighbour memo of a no-op hello merge: (entries object,
+        #: table version, snr version, entries refreshed in place).  A
+        #: stable network re-broadcasts the *same* ROUTING packet objects
+        #: (hello/build cache + decode memo), so once a merge produced no
+        #: route change, replaying it against an unchanged table reduces
+        #: to the timestamp refreshes the original merge performed.
+        self._merge_memo: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Learning
@@ -112,7 +127,11 @@ class RoutingTable:
                 current.role = role
                 self._version += 1
             current.updated_at = now
-            current.received_snr_db = snr_db
+            if current.received_snr_db != snr_db:
+                # SNR feeds the equal-metric tie-break, so a value change
+                # invalidates memoized merge decisions.
+                self._snr_version += 1
+                current.received_snr_db = snr_db
             return
         entry = RouteEntry(
             address=neighbour,
@@ -140,23 +159,43 @@ class RoutingTable:
             return 0
         if not isinstance(entries, (tuple, list)):
             entries = list(entries)
+        # Plain-int rows: the merge loop below visits every entry of
+        # every received beacon, and tuple unpacking beats per-field
+        # dataclass attribute loads ~3x.  Packets are shared objects
+        # (decode memo), so the rows tuple is computed once per packet,
+        # not once per receiving node.
+        rows, role_of = rows_of(entries)
         # The sender's self-advertisement carries its role bits (and
         # nothing else of value — reception is the direct route).
-        src_role = _DEFAULT_ROLE
-        for adv in entries:
-            if adv.address == src:
-                src_role = adv.role
-                break
-        self.heard_from(src, now, role=src_role, snr_db=snr_db)
+        self.heard_from(src, now, role=role_of.get(src, _DEFAULT_ROLE), snr_db=snr_db)
+        memo = self._merge_memo.get(src)
+        if (
+            memo is not None
+            and memo[0] is entries
+            and memo[1] == self._version
+            and memo[2] == self._snr_version
+        ):
+            # The *same* packet object merged against an unchanged table:
+            # the merge rules are a pure function of (entries, rows,
+            # SNR state), so this replay decides exactly what the
+            # recorded pass decided — no route changes, just timestamp
+            # refreshes on the entries it refreshed then.  A converged
+            # network spends almost all merge work here: every beacon
+            # re-advertises a stable table to neighbours whose tables are
+            # equally stable.
+            for current in memo[3]:
+                current.updated_at = now
+            return 0
         changed = 0
+        refreshed: List[RouteEntry] = []
         self_addr = self.self_address
         max_metric = self.max_metric
         routes = self._routes
+        tiebreak = self.snr_tiebreak_db is not None
         # The merge below inlines _merge_candidate (kept as a method for
         # other callers): a converging mesh merges tens of candidates per
         # received hello, and the call overhead dominates the arithmetic.
-        for adv in entries:
-            address = adv.address
+        for address, adv_metric, role in rows:
             if address == self_addr or address == BROADCAST_ADDRESS:
                 continue
             if address == src:
@@ -166,10 +205,9 @@ class RoutingTable:
                 # let a malformed self-advertisement (metric > 0) degrade
                 # that direct route via the follow-your-via rule.
                 continue
-            metric = adv.metric + 1
+            metric = adv_metric + 1
             if metric > max_metric:
                 continue
-            role = adv.role
             current = routes.get(address)
             if current is None:
                 entry = RouteEntry(address=address, via=src, metric=metric, role=role, updated_at=now)
@@ -188,14 +226,25 @@ class RoutingTable:
                 current.metric = metric
                 current.role = role
                 current.updated_at = now
+                refreshed.append(current)
                 if meaningful:
                     self._notify("updated", current)
                     changed += 1
-            elif metric == current.metric and self._stronger_first_hop(src, current.via):
+            elif tiebreak and metric == current.metric and self._stronger_first_hop(src, current.via):
                 entry = RouteEntry(address=address, via=src, metric=metric, role=role, updated_at=now)
                 routes[address] = entry
                 self._notify("updated", entry)
                 changed += 1
+        if changed == 0:
+            # Pin the entries tuple so its id cannot be recycled while
+            # the memo lives; any later table/SNR change ages it out via
+            # the version checks.
+            self._merge_memo[src] = (
+                entries,
+                self._version,
+                self._snr_version,
+                tuple(refreshed),
+            )
         return changed
 
     def _merge_candidate(self, address: int, via: int, metric: int, role: int, now: float) -> bool:
@@ -332,12 +381,19 @@ class RoutingTable:
         """
         rows = [RoutingEntry(address=self.self_address, metric=0, role=self_role)]
         # Table rows were validated on the way in; skip re-validation.
+        # Each row's wire entry is memoized on the RouteEntry and reused
+        # until its metric/role drift — across beacons, most rows are
+        # stable while the table as a whole still churns somewhere.
         routes = self._routes
         trusted = RoutingEntry.trusted
         append = rows.append
         for address in sorted(routes):
             e = routes[address]
-            append(trusted(e.address, e.metric, e.role))
+            adv = e.advertised
+            if adv is None or adv.metric != e.metric or adv.role != e.role:
+                adv = trusted(e.address, e.metric, e.role)
+                e.advertised = adv
+            append(adv)
         return rows
 
     def format(self) -> str:

@@ -8,6 +8,7 @@ the packet service treats like a CRC failure (drop and count).
 
 from __future__ import annotations
 
+import itertools
 import struct
 from typing import Tuple
 
@@ -46,7 +47,18 @@ class DecodeError(Exception):
 #: unchanged, making repeated encodes free.  Each value pins the packet
 #: so its id() cannot be recycled while the entry lives.
 _ENCODE_CACHE: dict = {}
-_ENCODE_CACHE_MAX = 4_096
+_ENCODE_CACHE_MAX = 65_536
+
+
+def _evict_oldest_half(cache: dict) -> None:
+    """Drop the least recently inserted half of a codec cache.
+
+    A wholesale clear made a large network (every node beaconing a
+    multi-frame table) rebuild the whole working set right after each
+    overflow; keeping the newer half keeps the hot entries resident.
+    """
+    for key in list(itertools.islice(iter(cache), len(cache) // 2)):
+        del cache[key]
 
 
 def encode(packet: Packet) -> bytes:
@@ -56,7 +68,7 @@ def encode(packet: Packet) -> bytes:
         return hit[1]
     buffer = _encode(packet)
     if len(_ENCODE_CACHE) >= _ENCODE_CACHE_MAX:
-        _ENCODE_CACHE.clear()
+        _evict_oldest_half(_ENCODE_CACHE)
     _ENCODE_CACHE[id(packet)] = (packet, buffer)
     return buffer
 
@@ -94,20 +106,23 @@ def _encode(packet: Packet) -> bytes:
 #: listeners decodes once instead of k times.  Only successful decodes are
 #: cached; malformed buffers re-raise on every call (they are rare).
 _DECODE_CACHE: dict = {}
-_DECODE_CACHE_MAX = 4_096
+_DECODE_CACHE_MAX = 65_536
 
 
 def decode(buffer: bytes) -> Packet:
     """Parse over-the-air bytes back into a packet object.
 
     Memoized on the buffer bytes: the returned packet objects are frozen,
-    so callers receiving the same frame share one instance.
+    so callers receiving the same frame share one instance.  The cap
+    covers a 1000-node network's full beacon working set (every node's
+    chunked table) so broadcast receivers decode each frame once, not
+    once per receiver.
     """
     packet = _DECODE_CACHE.get(buffer)
     if packet is None:
         packet = _decode(buffer)
         if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
-            _DECODE_CACHE.clear()
+            _evict_oldest_half(_DECODE_CACHE)
         _DECODE_CACHE[buffer] = packet
     return packet
 
@@ -162,14 +177,15 @@ def _decode_routing(dst: int, src: int, body: bytes) -> RoutingPacket:
     # The struct layout guarantees metric/role fit u8 and address fits
     # u16, so only the non-zero address rule needs an explicit check —
     # entries skip dataclass re-validation via the trusted constructor.
+    rows = tuple(_ROUTE_ENTRY.iter_unpack(body))
+    for address, _metric, _role in rows:
+        if address == 0:
+            raise DecodeError(f"bad routing-entry address {address:#x}")
     from_wire = RoutingEntry.trusted
-    entries = tuple(
-        from_wire(addr, metric, role)
-        for addr, metric, role in _ROUTE_ENTRY.iter_unpack(body)
-    )
-    for entry in entries:
-        if entry.address == 0:
-            raise DecodeError(f"bad routing-entry address {entry.address:#x}")
+    entries = tuple(from_wire(addr, metric, role) for addr, metric, role in rows)
+    # The int rows are in hand before the entry objects exist; seed the
+    # rows memo so the routing table's merge loop never re-extracts them.
+    pk.prime_rows(entries, rows)
     return RoutingPacket(dst=dst, src=src, entries=entries)
 
 

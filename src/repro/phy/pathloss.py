@@ -23,12 +23,38 @@ from typing import Dict, Optional, Tuple
 
 import random
 
+try:  # numpy is a declared dependency, but degrade gracefully without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    _np = None
+
 Position = Tuple[float, float]
+
+
+if _np is not None:
+    # The scalar models route their transcendental ops through numpy so
+    # that the vectorized batch engine (repro.phy.batch) is bit-identical
+    # to the scalar path: numpy's SIMD log10/hypot kernels differ from
+    # libm's math.log10/math.hypot in the last ulp, but numpy agrees with
+    # itself between scalar and array calls.  Everything else in the loss
+    # formulas is +/-/*//, which IEEE 754 rounds identically everywhere.
+    _np_log10 = _np.log10
+    _np_hypot = _np.hypot
+
+    def _log10(x: float) -> float:
+        return float(_np_log10(x))
+
+    def _hypot(x: float, y: float) -> float:
+        return float(_np_hypot(x, y))
+
+else:  # pragma: no cover - exercised only on stripped installs
+    _log10 = math.log10
+    _hypot = math.hypot
 
 
 def distance(a: Position, b: Position) -> float:
     """Euclidean distance between two planar positions in metres."""
-    return math.hypot(a[0] - b[0], a[1] - b[1])
+    return _hypot(a[0] - b[0], a[1] - b[1])
 
 
 class PathLossModel:
@@ -83,7 +109,7 @@ class FreeSpacePathLoss(PathLossModel):
 
     def loss_db(self, tx: Position, rx: Position, frequency_mhz: float) -> float:
         d_km = max(distance(tx, rx), self.MIN_DISTANCE_M) / 1000.0
-        return 20.0 * math.log10(d_km) + 20.0 * math.log10(frequency_mhz) + 32.44
+        return 20.0 * _log10(d_km) + 20.0 * _log10(frequency_mhz) + 32.44
 
     @property
     def reciprocal(self) -> bool:
@@ -128,10 +154,10 @@ class LogDistancePathLoss(PathLossModel):
         self._shadowing_cache: Dict[Tuple[Position, Position], float] = {}
 
     def loss_db(self, tx: Position, rx: Position, frequency_mhz: float) -> float:
-        d = math.hypot(tx[0] - rx[0], tx[1] - rx[1])  # inlined distance()
+        d = _hypot(tx[0] - rx[0], tx[1] - rx[1])  # inlined distance()
         if d < 1.0:
             d = 1.0
-        loss = self.reference_loss_db + 10.0 * self.exponent * math.log10(
+        loss = self.reference_loss_db + 10.0 * self.exponent * _log10(
             d / self.reference_distance_m
         )
         if self.shadowing_sigma_db == 0.0:

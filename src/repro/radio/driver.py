@@ -96,6 +96,9 @@ class Radio:
         self._txdone_label = f"radio{node_id} txdone"
 
         medium.attach(self)
+        # Mirror RX state into the medium so frame completion can account
+        # for out-of-range listeners in aggregate (see Medium docs).
+        medium.register_state_reporter(node_id, self._rx_since, params)
 
     # ------------------------------------------------------------------
     # Properties the medium consults
@@ -168,6 +171,7 @@ class Radio:
         was_rx = self._state is RadioState.RX
         self._enter(RadioState.STANDBY)
         self._params = params
+        self._medium.notify_rx_state(self.node_id, self._rx_since, params)
         if was_rx:
             self.start_receive()
 
@@ -206,6 +210,7 @@ class Radio:
             return
         self._powered = True
         self._medium.attach(self)
+        self._medium.register_state_reporter(self.node_id, self._rx_since, self._params)
         self._enter(RadioState.STANDBY)
 
     @property
@@ -293,6 +298,7 @@ class Radio:
         self._state = state
         self._state_since = now
         self._rx_since = now if state is RadioState.RX else None
+        self._medium.notify_rx_state(self.node_id, self._rx_since, self._params)
 
     def _require_powered(self) -> None:
         if not self._powered:

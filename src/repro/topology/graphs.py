@@ -12,6 +12,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import networkx as nx
 
+from repro.phy import batch as _batch
 from repro.phy.link import LinkBudget
 from repro.phy.modulation import LoRaParams
 from repro.phy.pathloss import Position
@@ -27,11 +28,27 @@ def connectivity_graph(
     Nodes are position indices; edges carry the ``snr_db`` of the link
     (the worse of the two directions, though the default models are
     reciprocal).
+
+    Uses the vectorized batch engine when the channel model supports it
+    (one (N×N) matrix instead of N² scalar evaluations); the result is
+    bit-identical to the scalar loop either way.
     """
     graph = nx.Graph()
-    graph.add_nodes_from(range(len(positions)))
-    for i in range(len(positions)):
-        for j in range(i + 1, len(positions)):
+    n = len(positions)
+    graph.add_nodes_from(range(n))
+    if n > 1 and _batch.supports_batch(link_budget):
+        np = _batch.np
+        m = _batch.link_matrices(link_budget, positions, positions, params)
+        both = m.above_sensitivity & m.above_sensitivity.T
+        snr_worse = np.minimum(m.snr_db, m.snr_db.T)
+        # Upper triangle in row-major order: the same (i, j), i < j
+        # enumeration (and therefore edge insertion order) as the loop.
+        ii, jj = np.nonzero(np.triu(both, k=1))
+        for i, j in zip(ii.tolist(), jj.tolist()):
+            graph.add_edge(i, j, snr_db=float(snr_worse[i, j]))
+        return graph
+    for i in range(n):
+        for j in range(i + 1, n):
             forward = link_budget.evaluate(positions[i], positions[j], params)
             backward = link_budget.evaluate(positions[j], positions[i], params)
             if forward.above_sensitivity and backward.above_sensitivity:

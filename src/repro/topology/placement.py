@@ -12,6 +12,8 @@ import math
 import random
 from typing import List, Optional, Sequence, Tuple
 
+from repro.medium.spatial import SpatialGrid
+
 Position = Tuple[float, float]
 
 #: Line spacing that makes consecutive nodes neighbours but skips no hop
@@ -59,9 +61,17 @@ def random_positions(
 
     Raises ``RuntimeError`` when the area cannot fit the requested
     density within ``max_attempts`` draws.
+
+    The separation check runs against a spatial hash grid (cell size =
+    ``min_separation_m``), so each attempt tests only the 3×3 cell
+    neighbourhood instead of every placed node — any node outside that
+    neighbourhood is at least one cell away and passes automatically.
+    The accept/reject decision (and therefore the RNG draw sequence and
+    resulting placement) is identical to the all-pairs check.
     """
     _require_count(n)
     positions: List[Position] = []
+    grid = SpatialGrid(min_separation_m) if min_separation_m > 0 else None
     attempts = 0
     while len(positions) < n:
         attempts += 1
@@ -71,10 +81,15 @@ def random_positions(
                 f"in {width_m}x{height_m} m after {max_attempts} attempts"
             )
         candidate = (rng.uniform(0, width_m), rng.uniform(0, height_m))
+        if grid is None:
+            positions.append(candidate)
+            continue
         if all(
-            math.hypot(candidate[0] - p[0], candidate[1] - p[1]) >= min_separation_m
-            for p in positions
+            math.hypot(candidate[0] - positions[i][0], candidate[1] - positions[i][1])
+            >= min_separation_m
+            for i in grid.near(candidate, min_separation_m)
         ):
+            grid.insert(len(positions), candidate)
             positions.append(candidate)
     return positions
 

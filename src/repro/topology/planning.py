@@ -11,8 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import networkx as nx
+
+from repro.phy import batch as _batch
 from repro.phy.airtime import time_on_air
-from repro.phy.link import LinkBudget
+from repro.phy.link import LinkBudget, snr_floor_db
 from repro.phy.modulation import LoRaParams, SpreadingFactor
 from repro.phy.pathloss import Position
 from repro.topology.graphs import connectivity_graph, graph_stats
@@ -55,7 +58,40 @@ def plan_all_sfs(
     *,
     base_params: Optional[LoRaParams] = None,
 ) -> List[SfPlan]:
-    """Evaluate every SF against the placement, SF7 first."""
+    """Evaluate every SF against the placement, SF7 first.
+
+    With a batch-capable channel model the (N×N) SNR matrix is computed
+    *once* and re-thresholded per SF — SF only moves the demodulation
+    floor, not the link budget — instead of rebuilding it per SF.  The
+    plans are identical to per-SF :func:`evaluate_sf` calls either way.
+    """
+    base = base_params or LoRaParams()
+    if len(positions) > 1 and _batch.supports_batch(link_budget):
+        np = _batch.np
+        n = len(positions)
+        m = _batch.link_matrices(link_budget, positions, positions, base)
+        snr_worse = np.minimum(m.snr_db, m.snr_db.T)
+        plans: List[SfPlan] = []
+        for sf in SpreadingFactor:
+            params = base.replace(spreading_factor=sf)
+            above = m.snr_db >= snr_floor_db(sf)
+            both = above & above.T
+            graph = nx.Graph()
+            graph.add_nodes_from(range(n))
+            ii, jj = np.nonzero(np.triu(both, k=1))
+            for i, j in zip(ii.tolist(), jj.tolist()):
+                graph.add_edge(i, j, snr_db=float(snr_worse[i, j]))
+            stats = graph_stats(graph)
+            plans.append(
+                SfPlan(
+                    spreading_factor=sf,
+                    connected=stats.connected,
+                    diameter=stats.diameter,
+                    mean_degree=stats.mean_degree,
+                    frame_toa_s=time_on_air(24, params),
+                )
+            )
+        return plans
     return [
         evaluate_sf(positions, link_budget, sf, base_params=base_params)
         for sf in SpreadingFactor

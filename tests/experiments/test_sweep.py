@@ -121,5 +121,56 @@ class TestRunParallel:
         assert serial == parallel
 
 
+class TestAutoChunksize:
+    """chunksize defaults to ``max(1, len(points) // (4 * workers))`` so
+    large sweeps stop paying per-point IPC; explicit values are honored."""
+
+    class _SpyPool:
+        last = None
+
+        def __init__(self, processes=None):
+            TestAutoChunksize._SpyPool.last = self
+            self.processes = processes
+            self.chunksize = None
+
+        def map(self, fn, points, chunksize):
+            self.chunksize = chunksize
+            return [fn(p) for p in points]
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+    def _run(self, monkeypatch, points, **kwargs):
+        from repro.experiments import sweep
+
+        monkeypatch.setattr(sweep.multiprocessing, "Pool", self._SpyPool)
+        result = sweep.run_parallel(points, _square, **kwargs)
+        return result, self._SpyPool.last.chunksize
+
+    def test_auto_chunksize_large_sweep(self, monkeypatch):
+        result, chunksize = self._run(monkeypatch, list(range(100)), workers=4)
+        assert result == [p * p for p in range(100)]
+        assert chunksize == 100 // (4 * 4)
+
+    def test_auto_chunksize_floors_at_one(self, monkeypatch):
+        _, chunksize = self._run(monkeypatch, list(range(6)), workers=4)
+        assert chunksize == 1
+
+    def test_explicit_chunksize_honored(self, monkeypatch):
+        _, chunksize = self._run(monkeypatch, list(range(100)), workers=4, chunksize=3)
+        assert chunksize == 3
+
+    def test_invalid_chunksize_rejected(self):
+        import pytest
+
+        from repro.experiments.sweep import run_parallel
+
+        with pytest.raises(ValueError):
+            run_parallel([1, 2], _square, workers=2, chunksize=0)
+
+
 def _convergence_only(seed):
     return _simulate_point(seed)[0]

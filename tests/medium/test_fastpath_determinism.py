@@ -22,13 +22,22 @@ from tests.conftest import build_radios
 CFG = MesherConfig(hello_period_s=60.0, route_timeout_s=300.0, purge_period_s=30.0)
 
 
-def _run_network(spacing: float, seed: int, *, fast: bool, duration: float = 900.0):
+def _run_network(
+    spacing: float,
+    seed: int,
+    *,
+    fast: bool,
+    batch: bool = True,
+    duration: float = 900.0,
+):
     net = MeshNetwork.from_positions(
         grid_positions(3, 3, spacing_m=spacing), config=CFG, seed=seed
     )
     if not fast:
         net.medium.use_reachability = False
         net.medium._link.cache_enabled = False
+    if not batch:
+        net.medium.use_batch_phy = False
     net.run(for_s=duration)
     events = tuple(
         (e.time, e.node, e.kind, tuple(sorted(e.detail.items())))
@@ -126,6 +135,149 @@ class TestReachabilityInvalidation:
             return medium.outcome_counts(), a.frames_sent, b.frames_received
 
         assert run(True) == run(False)
+
+
+class TestBatchEquivalence:
+    """The vectorized batch engine (grid candidates + matrix margins +
+    aggregate culled-listener accounting) must be outcome-invisible."""
+
+    @pytest.mark.parametrize("seed", [3, 17, 29])
+    @pytest.mark.parametrize("spacing", [80.0, 200.0])
+    def test_batch_on_off_identical(self, spacing, seed):
+        on = _run_network(spacing, seed, fast=True, batch=True)
+        off = _run_network(spacing, seed, fast=True, batch=False)
+        assert on[0] == off[0], "trace streams diverged"
+        assert on[1] == off[1], "drop-reason histograms diverged"
+        assert on[2] == off[2], "node statistics diverged"
+
+    def test_batch_matches_fully_scalar_path(self):
+        batch = _run_network(80.0, 7, fast=True, batch=True)
+        scalar = _run_network(80.0, 7, fast=False, batch=False)
+        assert batch == scalar
+
+    def test_batch_auto_enabled_for_static_models(self):
+        net = MeshNetwork.from_positions(grid_positions(2, 2), config=CFG, seed=1)
+        assert net.medium.use_batch_phy
+
+    def test_batch_auto_disabled_for_order_sensitive_models(self):
+        import random
+
+        shadowed = LogDistancePathLoss(shadowing_sigma_db=3.0, rng=random.Random(5))
+        net = MeshNetwork.from_positions(
+            grid_positions(2, 2), config=CFG, seed=1, pathloss=shadowed
+        )
+        assert not net.medium.use_batch_phy
+        assert not net.medium.use_reachability
+
+    @pytest.mark.parametrize("seed", [5, 11, 23])
+    def test_random_waypoint_mobility_identical(self, seed):
+        from repro.topology.mobility import RandomWaypoint
+
+        def run(batch: bool):
+            net = MeshNetwork.from_positions(
+                grid_positions(3, 4, spacing_m=90.0), config=CFG, seed=seed
+            )
+            if not batch:
+                net.medium.use_batch_phy = False
+            walkers = [
+                RandomWaypoint(
+                    net.sim,
+                    net.node(addr),
+                    area=(0.0, 0.0, 360.0, 270.0),
+                    speed_mps=8.0,
+                    pause_s=10.0,
+                    step_s=2.0,
+                )
+                for addr in (net.addresses[0], net.addresses[5])
+            ]
+            for walker in walkers:
+                walker.start()
+            net.run(for_s=900.0)
+            events = tuple(
+                (e.time, e.node, e.kind, tuple(sorted(e.detail.items())))
+                for e in net.trace.events()
+            )
+            stats = tuple(
+                (
+                    n.address,
+                    n.radio.frames_sent,
+                    n.radio.frames_received,
+                    n.radio.frames_crc_failed,
+                    tuple(sorted((r.address, r.via, r.metric) for r in n.table)),
+                )
+                for n in net.nodes
+            )
+            legs = tuple(w.legs_completed for w in walkers)
+            return events, net.medium.outcome_counts(), stats, legs
+
+        on = run(True)
+        off = run(False)
+        assert on[0] == off[0], "trace streams diverged under mobility"
+        assert on[1:] == off[1:]
+
+    def test_convergence_time_identical(self):
+        def converge(batch: bool):
+            net = MeshNetwork.from_positions(
+                grid_positions(4, 4, spacing_m=100.0), config=CFG, seed=13
+            )
+            if not batch:
+                net.medium.use_batch_phy = False
+            return net.run_until_converged(timeout_s=3600.0)
+
+        t_on = converge(True)
+        t_off = converge(False)
+        assert t_on is not None
+        assert t_on == t_off
+
+
+class TestSelectiveMoveInvalidation:
+    """A move must evict only the reachable-cache entries it can affect
+    (satellite: the wholesale notify_moved clear lost every PR 2 speedup
+    under mobility)."""
+
+    def test_two_node_move_keeps_unrelated_entries(self, sim, params):
+        medium = Medium(sim, LinkBudget(LogDistancePathLoss()))
+        assert medium.use_batch_phy
+        # 48-node cluster near the origin plus a far-away 2-node pair:
+        # no entry from the cluster involves the pair or vice versa.
+        positions = [(i * 60.0, 0.0) for i in range(48)]
+        positions += [(1.0e6, 0.0), (1.0e6 + 50.0, 0.0)]
+        radios = build_radios(sim, medium, positions, params)
+        for r in radios:
+            r.transmit(bytes(8))
+            sim.run(until=sim.now + 1.0)
+        assert len(medium._reachable_cache) == 50
+        cluster_keys = {(pos, id(params)) for pos in positions[:48]}
+        radios[-2].move_to((1.0e6, 40.0))
+        radios[-1].move_to((1.0e6 + 50.0, 40.0))
+        remaining = set(medium._reachable_cache)
+        assert cluster_keys <= remaining, "unrelated senders' entries evicted"
+        # The movers' own entries (and their neighbour's, which contained
+        # them) are gone.
+        assert ((1.0e6, 0.0), id(params)) not in remaining
+        assert ((1.0e6 + 50.0, 0.0), id(params)) not in remaining
+
+    def test_move_into_cluster_range_invalidates(self, sim, params):
+        medium = Medium(sim, LinkBudget(LogDistancePathLoss()))
+        a, b = build_radios(sim, medium, [(0.0, 0.0), (1.0e6, 0.0)], params)
+        a.transmit(bytes(8))
+        sim.run(until=sim.now + 1.0)
+        assert ((0.0, 0.0), id(params)) in medium._reachable_cache
+        # b moves next to a: a's entry must be evicted even though b was
+        # not a member of it (it may now be reachable).
+        b.move_to((50.0, 0.0))
+        assert ((0.0, 0.0), id(params)) not in medium._reachable_cache
+
+    def test_scalar_path_still_clears_wholesale(self, sim, params):
+        medium = Medium(
+            sim, LinkBudget(LogDistancePathLoss()), use_batch_phy=False
+        )
+        a, b = build_radios(sim, medium, [(0.0, 0.0), (60.0, 0.0)], params)
+        a.transmit(bytes(8))
+        sim.run(until=sim.now + 1.0)
+        assert medium._reachable_cache
+        b.move_to((70.0, 0.0))
+        assert not medium._reachable_cache
 
 
 class TestCadSelfSensing:

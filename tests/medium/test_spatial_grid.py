@@ -1,0 +1,117 @@
+"""Unit tests for the uniform spatial hash grid."""
+
+import math
+import random
+
+import pytest
+
+from repro.medium.spatial import SpatialGrid
+
+
+class TestMaintenance:
+    def test_insert_and_query(self):
+        grid = SpatialGrid(100.0)
+        grid.insert(1, (10.0, 10.0))
+        grid.insert(2, (950.0, 10.0))
+        assert len(grid) == 2
+        assert 1 in grid and 2 in grid
+        assert set(grid.near((0.0, 0.0), 50.0)) == {1}
+
+    def test_insert_replaces_previous_position(self):
+        grid = SpatialGrid(100.0)
+        grid.insert(1, (10.0, 10.0))
+        grid.insert(1, (990.0, 990.0))
+        assert len(grid) == 1
+        assert grid.near((0.0, 0.0), 50.0) == []
+        assert grid.near((1000.0, 1000.0), 50.0) == [1]
+
+    def test_remove(self):
+        grid = SpatialGrid(100.0)
+        grid.insert(1, (10.0, 10.0))
+        grid.remove(1)
+        grid.remove(99)  # unknown id: no-op
+        assert len(grid) == 0
+        assert grid.cell_count == 0
+
+    def test_move_within_cell_keeps_bucket(self):
+        grid = SpatialGrid(100.0)
+        grid.insert(1, (10.0, 10.0))
+        cells_before = grid.cell_count
+        grid.move(1, (90.0, 90.0))
+        assert grid.cell_count == cells_before
+        assert grid.position_of(1) == (90.0, 90.0)
+
+    def test_move_across_boundary_rebuckets(self):
+        grid = SpatialGrid(100.0)
+        grid.insert(1, (10.0, 10.0))
+        grid.move(1, (110.0, 10.0))
+        assert grid.near((10.0, 10.0), 10.0) == []
+        assert grid.near((110.0, 10.0), 10.0) == [1]
+        assert grid.cell_count == 1  # old cell dropped when emptied
+
+    def test_move_unknown_id_inserts(self):
+        grid = SpatialGrid(100.0)
+        grid.move(7, (50.0, 50.0))
+        assert 7 in grid
+
+    def test_clear(self):
+        grid = SpatialGrid(100.0)
+        for i in range(10):
+            grid.insert(i, (i * 30.0, 0.0))
+        grid.clear()
+        assert len(grid) == 0 and grid.cell_count == 0
+
+    def test_negative_coordinates(self):
+        grid = SpatialGrid(100.0)
+        grid.insert(1, (-150.0, -150.0))
+        assert grid.near((-150.0, -150.0), 10.0) == [1]
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            SpatialGrid(0.0)
+        with pytest.raises(ValueError):
+            SpatialGrid(-5.0)
+
+
+class TestNearIsConservativeSuperset:
+    """`near()` must return every node within the radius (it may return
+    more — callers filter with the exact PHY test)."""
+
+    @pytest.mark.parametrize("cell", [40.0, 120.0, 300.0])
+    def test_superset_under_random_churn(self, cell):
+        rng = random.Random(cell)
+        grid = SpatialGrid(cell)
+        points = {}
+        for i in range(150):
+            points[i] = (rng.uniform(-500, 500), rng.uniform(-500, 500))
+            grid.insert(i, points[i])
+        # random moves
+        for i in rng.sample(sorted(points), 60):
+            points[i] = (rng.uniform(-500, 500), rng.uniform(-500, 500))
+            grid.move(i, points[i])
+        for _ in range(25):
+            q = (rng.uniform(-600, 600), rng.uniform(-600, 600))
+            radius = rng.uniform(0.0, 400.0)
+            got = set(grid.near(q, radius))
+            want = {
+                i
+                for i, p in points.items()
+                if math.hypot(p[0] - q[0], p[1] - q[1]) <= radius
+            }
+            assert want <= got
+
+    def test_negative_radius_is_empty(self):
+        grid = SpatialGrid(50.0)
+        grid.insert(1, (0.0, 0.0))
+        assert grid.near((0.0, 0.0), -1.0) == []
+
+    def test_deterministic_order_for_fixed_history(self):
+        def build():
+            grid = SpatialGrid(100.0)
+            for i in (3, 1, 2):
+                grid.insert(i, (float(i), float(i)))
+            return grid.near((0.0, 0.0), 90.0)
+
+        assert build() == build()
+        # Insertion order within a cell, not id order.
+        assert build() == [3, 1, 2]
