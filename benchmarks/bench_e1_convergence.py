@@ -11,7 +11,13 @@ the time to learn a destination grows with its hop distance (information
 propagates one hop per hello round).
 """
 
-from benchmarks.conftest import BENCH_CONFIG, BENCH_WORKERS, SEEDS
+from benchmarks.conftest import (
+    BENCH_CONFIG,
+    BENCH_WORKERS,
+    SEEDS,
+    attach_bench_checker,
+    conclude_bench_checker,
+)
 from repro.experiments.report import print_table
 from repro.experiments.sweep import repeat_seeds
 from repro.net.api import MeshNetwork
@@ -21,7 +27,9 @@ from repro.trace.events import EventKind
 
 def converge_once(seed: int):
     net = MeshNetwork.from_positions(line_positions(4), config=BENCH_CONFIG, seed=seed)
+    checker = attach_bench_checker(net)
     t = net.run_until_converged(timeout_s=3600.0, check_period_s=5.0)
+    conclude_bench_checker(checker)
     return net, t
 
 

@@ -10,7 +10,7 @@ gets 0%; the mesh spends less airtime per delivered byte than flooding;
 the oracle's PDR upper-bounds the mesh within a few points.
 """
 
-from benchmarks.conftest import BENCH_CONFIG, export_bench_json
+from benchmarks.conftest import BENCH_CONFIG, export_bench_json, verify_kwargs
 from repro.experiments.export import run_result_summary
 from repro.experiments.report import print_table
 from repro.experiments.runner import Protocol, TrafficSpec, run_protocol
@@ -41,6 +41,8 @@ def run_all(seed: int):
             seed=seed,
             config=BENCH_CONFIG,
             sample_period_s=300.0,
+            # Invariant auditing only applies to the mesh's routing state.
+            **(verify_kwargs() if protocol is Protocol.MESH else {}),
         )
     return out
 

@@ -12,7 +12,7 @@ per-fragment overhead makes small payloads proportionally costlier.
 
 import random
 
-from benchmarks.conftest import BENCH_CONFIG
+from benchmarks.conftest import BENCH_CONFIG, attach_bench_checker, conclude_bench_checker
 from repro.experiments.report import print_table
 from repro.net.api import MeshNetwork
 from repro.topology.placement import line_positions
@@ -28,6 +28,7 @@ def transfer(payload_size: int, loss_rate: float, seed: int):
         loss_injector=injector,
         trace_enabled=False,
     )
+    checker = attach_bench_checker(net)
     if net.run_until_converged(timeout_s=3600.0) is None:
         return None
     src, dst = net.nodes[0], net.nodes[-1]
@@ -36,6 +37,7 @@ def transfer(payload_size: int, loss_rate: float, seed: int):
     start = net.sim.now
     src.send_reliable(dst.address, payload, lambda ok, why: outcome.update(ok=ok, why=why))
     net.run(for_s=7200.0)
+    conclude_bench_checker(checker)
     message = dst.receive()
     ok = outcome.get("ok", False) and message is not None and message.payload == payload
     elapsed = (message.received_at - start) if message else float("nan")

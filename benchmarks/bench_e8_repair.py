@@ -13,7 +13,7 @@ cost of more hello sensitivity — the A3 ablation).
 
 import random
 
-from benchmarks.conftest import BENCH_CONFIG
+from benchmarks.conftest import BENCH_CONFIG, attach_bench_checker, conclude_bench_checker
 from repro.experiments.report import print_table
 from repro.metrics.collect import FlowRecorder, attach_recorder
 from repro.net.api import MeshNetwork
@@ -29,6 +29,7 @@ def run_repair(route_timeout_s: float, seed: int):
         purge_period_s=min(30.0, route_timeout_s / 4),
     )
     net = MeshNetwork.from_positions(DIAMOND, config=config, seed=seed, trace_enabled=False)
+    checker = attach_bench_checker(net)
     if net.run_until_converged(timeout_s=3600.0) is None:
         return None
     a, d = net.nodes[0], net.nodes[3]
@@ -55,6 +56,7 @@ def run_repair(route_timeout_s: float, seed: int):
             break
     sender.stop()
     net.run(for_s=60.0)
+    conclude_bench_checker(checker)
     flow = recorder.flow(a.address, d.address)
     return {
         "route_timeout_s": route_timeout_s,

@@ -55,6 +55,52 @@ def export_bench_json(name: str, payload: dict) -> Path:
     return path
 
 
+#: When ``REPRO_BENCH_VERIFY=1`` the mesh benches run under the strict
+#: protocol invariant checker (see ``repro.verify``): every audit period
+#: the global invariants are checked and the first violation fails the
+#: bench.  Off by default — auditing costs a periodic O(nodes * routes)
+#: sweep that would pollute the perf numbers.
+BENCH_VERIFY = os.environ.get("REPRO_BENCH_VERIFY", "").strip().lower() not in (
+    "", "0", "false", "no"
+)
+
+#: Audit cadence for gated benches (seconds, simulated).
+BENCH_VERIFY_PERIOD_S = float(os.environ.get("REPRO_BENCH_VERIFY_PERIOD", "30"))
+
+
+def attach_bench_checker(net):
+    """A strict invariant checker on ``net`` when the gate is on.
+
+    Returns the attached checker, or None when ``REPRO_BENCH_VERIFY`` is
+    unset.  Call :func:`conclude_bench_checker` after the scenario for
+    the final end-state audit.
+    """
+    if not BENCH_VERIFY:
+        return None
+    from repro.verify import InvariantChecker
+
+    return InvariantChecker(
+        net, audit_period_s=BENCH_VERIFY_PERIOD_S, strict=True
+    ).attach()
+
+
+def conclude_bench_checker(checker) -> None:
+    """Final audit of a gated bench's end state (no-op when gated off)."""
+    if checker is not None:
+        checker.audit()
+
+
+def verify_kwargs() -> dict:
+    """Extra ``run_protocol`` kwargs under the ``REPRO_BENCH_VERIFY`` gate."""
+    if not BENCH_VERIFY:
+        return {}
+    return {
+        "verify": True,
+        "verify_strict": True,
+        "verify_audit_period_s": BENCH_VERIFY_PERIOD_S,
+    }
+
+
 @pytest.fixture
 def bench_config():
     return BENCH_CONFIG

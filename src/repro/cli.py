@@ -336,6 +336,65 @@ def cmd_airtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Run an invariant-audited scenario, optionally under churn."""
+    import json
+
+    from repro.verify import InvariantChecker, FaultInjector, random_churn_plan
+
+    positions = _make_positions(args.topology, args.nodes, args.spacing)
+    config = _config(args)
+    net = MeshNetwork.from_positions(
+        positions, config=config, seed=args.seed, trace_enabled=False
+    )
+    checker = InvariantChecker(
+        net,
+        audit_period_s=args.audit_period,
+        strict=True if args.strict else None,
+    ).attach()
+    injector = None
+    if args.churn > 0:
+        plan = random_churn_plan(
+            net.addresses,
+            seed=args.seed,
+            start=args.duration * 0.25,
+            end=args.duration * 0.75,
+            cycles=args.churn,
+            down_s=max(config.route_timeout_s, args.duration * 0.1),
+        )
+        injector = FaultInjector(net, plan, seed=args.seed).arm()
+    convergence = net.run_until_converged(timeout_s=args.duration)
+
+    # Light probe traffic so delivery/conservation invariants see data
+    # frames, not just the control plane: every node periodically sends
+    # a datagram to the node "opposite" it in address order.
+    addresses = net.addresses
+
+    def probe_round() -> None:
+        for i, addr in enumerate(addresses):
+            node = net.node(addr)
+            peer = addresses[(i + len(addresses) // 2) % len(addresses)]
+            if peer != addr and node.started and node.radio.powered:
+                if node.table.has_route(peer):
+                    node.send_datagram(peer, b"verify-probe")
+
+    net.sim.periodic(args.traffic_period, probe_round, label="verify probes")
+    remaining = args.duration - net.sim.now
+    if remaining > 0:
+        net.run(for_s=remaining)
+    checker.audit()
+
+    summary = checker.summary()
+    summary["convergence_s"] = convergence
+    summary["nodes"] = args.nodes
+    summary["seed"] = args.seed
+    if injector is not None:
+        summary["fault_events"] = len(injector.plan.events)
+        summary["fault_dropped_frames"] = injector.dropped_frames
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 1 if checker.violations else 0
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     """Connectivity check for a placement before deploying it."""
     positions = _make_positions(args.topology, args.nodes, args.spacing)
@@ -482,6 +541,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--sf", type=int, nargs="+", default=[7, 8, 9, 10, 11, 12], help="spreading factors"
     )
     airtime.set_defaults(func=cmd_airtime)
+
+    verify = sub.add_parser(
+        "verify", help="run an invariant-audited scenario and report violations"
+    )
+    common(verify)
+    verify.add_argument("--nodes", type=int, default=9)
+    verify.add_argument("--topology", choices=("line", "grid", "ring"), default="grid")
+    verify.add_argument("--spacing", type=float, default=120.0, help="node spacing (m)")
+    verify.add_argument("--duration", type=float, default=3600.0, help="simulated seconds")
+    verify.add_argument(
+        "--audit-period", type=float, default=30.0,
+        help="seconds between full invariant audits",
+    )
+    verify.add_argument(
+        "--traffic-period", type=float, default=120.0,
+        help="seconds between probe datagram rounds",
+    )
+    verify.add_argument(
+        "--churn", type=int, default=0, metavar="CYCLES",
+        help="inject CYCLES deterministic crash/revive cycles mid-run",
+    )
+    verify.add_argument(
+        "--strict", action="store_true",
+        help="raise on the first violation (default: count and report)",
+    )
+    verify.set_defaults(func=cmd_verify)
 
     plan = sub.add_parser("plan", help="connectivity check for a placement")
     plan.add_argument("--nodes", type=int, default=4)

@@ -29,6 +29,8 @@ from repro.obs.sampler import TimeSeriesSampler
 from repro.phy.modulation import LoRaParams
 from repro.phy.pathloss import PathLossModel, Position
 from repro.sim.rng import RngRegistry
+from repro.verify.faults import FaultInjector, FaultPlan
+from repro.verify.invariants import InvariantChecker
 from repro.workload.probes import PROBE_OVERHEAD
 from repro.workload.traffic import PeriodicSender, PoissonSender
 
@@ -73,6 +75,9 @@ class RunResult:
     #: Populated when ``run_protocol(..., sample_period_s=...)`` was given:
     #: the sampler whose ring holds the run's health trajectory.
     sampler: Optional[TimeSeriesSampler] = None
+    #: Populated when ``run_protocol(..., verify=True)`` was given: the
+    #: invariant checker that audited the run (violations, observations).
+    checker: Optional[InvariantChecker] = None
 
     @property
     def pdr(self) -> float:
@@ -106,6 +111,10 @@ def run_protocol(
     drain_s: float = 120.0,
     star_gateway_index: Optional[int] = None,
     sample_period_s: Optional[float] = None,
+    verify: bool = False,
+    verify_strict: Optional[bool] = None,
+    verify_audit_period_s: float = 30.0,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Run one scenario and measure it.
 
@@ -119,9 +128,21 @@ def run_protocol(
     health (coverage, frames, airtime, queue pressure, PDR, ...) is
     snapshotted every that many simulated seconds and returned on
     ``RunResult.sampler`` / ``RunResult.timeseries``.
+
+    ``verify`` (MESH only) attaches an
+    :class:`~repro.verify.invariants.InvariantChecker` to the network —
+    every ``verify_audit_period_s`` simulated seconds the run's global
+    protocol invariants are audited, with a final audit after the drain
+    tail; the checker comes back on ``RunResult.checker``.
+    ``verify_strict`` overrides the ``REPRO_STRICT_INVARIANTS``
+    environment default.  ``fault_plan`` (MESH only) arms a
+    deterministic :class:`~repro.verify.faults.FaultPlan` (crashes,
+    blackouts, burst loss) before the scenario starts.
     """
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
+    if (verify or fault_plan is not None) and protocol is not Protocol.MESH:
+        raise ValueError("verify/fault_plan require Protocol.MESH")
     recorder = FlowRecorder()
 
     def _attach_sampler(net) -> Optional[TimeSeriesSampler]:
@@ -133,6 +154,7 @@ def run_protocol(
         sampler.sample_now()  # t=0 baseline point
         return sampler
 
+    checker: Optional[InvariantChecker] = None
     if protocol in (Protocol.MESH, Protocol.ORACLE):
         if protocol is Protocol.MESH:
             net = MeshNetwork.from_positions(
@@ -141,6 +163,12 @@ def run_protocol(
         else:
             net = build_oracle_network(positions, config=config, seed=seed, pathloss=pathloss)
         sampler = _attach_sampler(net)
+        if verify:
+            checker = InvariantChecker(
+                net, audit_period_s=verify_audit_period_s, strict=verify_strict
+            ).attach()
+        if fault_plan is not None:
+            FaultInjector(net, fault_plan, seed=seed).arm()
         convergence = None
         if protocol is Protocol.MESH and converge_first:
             convergence = net.run_until_converged(timeout_s=converge_timeout_s)
@@ -205,6 +233,8 @@ def run_protocol(
     if sampler is not None:
         sampler.stop()
         sampler.sample_now()  # end-of-run point after the drain tail
+    if checker is not None:
+        checker.audit()  # final sweep over the drained end state
 
     return RunResult(
         protocol=protocol,
@@ -214,6 +244,7 @@ def run_protocol(
         convergence_time_s=convergence,
         overhead=overhead_summary(nodes, recorder, now=sim_now),
         sampler=sampler,
+        checker=checker,
     )
 
 

@@ -262,6 +262,18 @@ class Medium:
         ] = None
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    @property
+    def loss_injector(self) -> Optional[LossInjector]:
+        """The installed loss injector, or None (see repro.verify.faults)."""
+        return self._loss_injector
+
+    @loss_injector.setter
+    def loss_injector(self, injector: Optional[LossInjector]) -> None:
+        self._loss_injector = injector
+
+    # ------------------------------------------------------------------
     # Attachment
     # ------------------------------------------------------------------
     def attach(self, listener: MediumListener) -> None:

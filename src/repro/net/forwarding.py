@@ -51,14 +51,32 @@ class ForwardDecision:
     action: ForwardAction
     outgoing: Optional[ViaPacket] = None
     next_hop: Optional[int] = None
+    #: Diagnostic: the chosen next hop is the node the frame just came
+    #: from — a transient two-node ping-pong that only occurs while
+    #: neighbouring tables disagree during convergence.  The frame is
+    #: still forwarded (matching the firmware, which has no previous-hop
+    #: knowledge); the flag feeds a dedicated metric and the invariant
+    #: checker so persistent ping-pong is caught as a routing loop.
+    ping_pong: bool = False
 
 
-def classify(packet: ViaPacket, self_address: int, table: RoutingTable) -> ForwardDecision:
+def classify(
+    packet: ViaPacket,
+    self_address: int,
+    table: RoutingTable,
+    *,
+    previous_hop: Optional[int] = None,
+) -> ForwardDecision:
     """Classify a received via-packet for ``self_address``.
 
     Broadcast data is always delivered locally and never re-forwarded
     (LoRaMesher broadcasts are single-hop by design — mesh-wide floods
     are an application concern, cf. the flooding baseline).
+
+    ``previous_hop`` is the simulator-side identity of the transmitter
+    that handed us the frame (unknown to real hardware).  It never
+    changes the decision; it only marks the transient ping-pong case on
+    the returned decision for observability.
     """
     if packet.dst == BROADCAST_ADDRESS:
         return ForwardDecision(action=ForwardAction.DELIVER)
@@ -71,7 +89,12 @@ def classify(packet: ViaPacket, self_address: int, table: RoutingTable) -> Forwa
     if next_hop is None:
         return ForwardDecision(action=ForwardAction.NO_ROUTE)
     outgoing = rewrite_via(packet, next_hop)
-    return ForwardDecision(action=ForwardAction.FORWARD, outgoing=outgoing, next_hop=next_hop)
+    return ForwardDecision(
+        action=ForwardAction.FORWARD,
+        outgoing=outgoing,
+        next_hop=next_hop,
+        ping_pong=previous_hop is not None and next_hop == previous_hop,
+    )
 
 
 def rewrite_via(packet: ViaPacket, next_hop: int) -> ViaPacket:

@@ -84,6 +84,9 @@ class NodeStats:
     duty_deferrals: int = 0
     cad_deferrals: int = 0
     strict_duty_drops: int = 0
+    #: FORWARD decisions whose next hop was the frame's previous
+    #: transmitter — transient two-node ping-pong during convergence.
+    ping_pong_forwards: int = 0
 
 
 class MesherNode:
@@ -150,6 +153,22 @@ class MesherNode:
         )
         #: Optional push-style delivery; fires in addition to the inbox.
         self.on_message: Optional[Callable[[AppMessage], None]] = None
+
+        # Observer taps (see repro.verify): read-only hooks the invariant
+        # checker and other observers attach to.  All default to None and
+        # cost one attribute load when unused.  They survive recover()
+        # because the recreated table's on_change still points at
+        # _route_changed, which fans out to on_route_event.
+        #: ``(packet, decision, previous_hop)`` after every via-packet
+        #: classification (previous_hop is the simulator-side transmitter
+        #: id, -1 when unknown).
+        self.on_forward_decision: Optional[Callable[[Packet, object, int], None]] = None
+        #: ``(kind, entry)`` mirrored from the routing table's change
+        #: hook (kind in {"added", "updated", "removed"}).
+        self.on_route_event: Optional[Callable[[str, RouteEntry], None]] = None
+        #: ``(message)`` on every application-layer delivery, before the
+        #: inbox push (fires even when the inbox would overflow).
+        self.on_app_delivery: Optional[Callable[[AppMessage], None]] = None
 
         self.stats = NodeStats()
         self._pump_handle: Optional[EventHandle] = None
@@ -384,7 +403,7 @@ class MesherNode:
         if isinstance(packet, RoutingPacket):
             self._handle_routing(packet, frame)
             return
-        self._handle_via_packet(packet)
+        self._handle_via_packet(packet, previous_hop=frame.sender_id)
 
     def _handle_routing(self, packet: RoutingPacket, frame: ReceivedFrame) -> None:
         trace = self.trace
@@ -403,13 +422,17 @@ class MesherNode:
             packet.src, packet.entries, self.sim.now, snr_db=frame.snr_db
         )
 
-    def _handle_via_packet(self, packet) -> None:
-        decision = classify(packet, self.address, self.table)
+    def _handle_via_packet(self, packet, *, previous_hop: int = -1) -> None:
+        decision = classify(packet, self.address, self.table, previous_hop=previous_hop)
+        if self.on_forward_decision is not None:
+            self.on_forward_decision(packet, decision, previous_hop)
         if decision.action is ForwardAction.DELIVER:
             self._deliver(packet)
         elif decision.action is ForwardAction.FORWARD:
             assert decision.outgoing is not None
             self.stats.data_forwarded += 1
+            if decision.ping_pong:
+                self.stats.ping_pong_forwards += 1
             self._record(
                 EventKind.DATA_FORWARDED,
                 packet=type(packet).__name__,
@@ -460,6 +483,8 @@ class MesherNode:
             bytes=len(message.payload),
             reliable=message.reliable,
         )
+        if self.on_app_delivery is not None:
+            self.on_app_delivery(message)
         self.inbox.push(message)
         if self.on_message is not None:
             self.on_message(message)
@@ -472,6 +497,8 @@ class MesherNode:
     }
 
     def _route_changed(self, kind: str, entry: RouteEntry) -> None:
+        if self.on_route_event is not None:
+            self.on_route_event(kind, entry)
         trace = self.trace
         if trace is None:
             return

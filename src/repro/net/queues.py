@@ -33,6 +33,7 @@ class PacketQueue(Generic[T]):
         self._items: Deque[T] = deque()
         self.dropped = 0
         self.enqueued_total = 0
+        self.dequeued_total = 0
 
     def push(self, item: T) -> bool:
         """Append; returns False (and counts a drop) when full."""
@@ -47,6 +48,7 @@ class PacketQueue(Generic[T]):
         """Remove and return the head, or None when empty."""
         if not self._items:
             return None
+        self.dequeued_total += 1
         return self._items.popleft()
 
     def peek(self) -> Optional[T]:
@@ -54,11 +56,17 @@ class PacketQueue(Generic[T]):
         return self._items[0] if self._items else None
 
     def requeue_front(self, item: T) -> bool:
-        """Put an item back at the head (send deferred by duty cycle)."""
-        if len(self._items) >= self.capacity:
-            self.dropped += 1
-            return False
+        """Put a previously popped item back at the head (send deferred by
+        duty cycle or CAD).
+
+        Always succeeds: the popped slot is logically still owned by the
+        item, so deferral must be loss-free even when other producers
+        refilled the queue in between — the queue may transiently hold
+        ``capacity + 1`` items, and ``push`` keeps dropping until it
+        drains back under the cap.
+        """
         self._items.appendleft(item)
+        self.dequeued_total -= 1
         return True
 
     def __len__(self) -> int:
@@ -91,6 +99,7 @@ class SendQueue:
         self._data: Deque[Packet] = deque()
         self.dropped = 0
         self.enqueued_total = 0
+        self.dequeued_total = 0
 
     def push(self, packet: Packet) -> bool:
         """Enqueue for transmission; control packets take the fast lane."""
@@ -107,8 +116,10 @@ class SendQueue:
     def pop(self) -> Optional[Packet]:
         """Next packet to transmit (control before data), or None."""
         if self._control:
+            self.dequeued_total += 1
             return self._control.popleft()
         if self._data:
+            self.dequeued_total += 1
             return self._data.popleft()
         return None
 
@@ -121,14 +132,19 @@ class SendQueue:
         return None
 
     def requeue_front(self, packet: Packet) -> bool:
-        """Return a deferred packet to the head of its lane."""
-        if len(self) >= self.capacity:
-            self.dropped += 1
-            return False
+        """Return a deferred packet to the head of its lane.
+
+        Always succeeds — the popped slot is logically still owned by the
+        in-flight packet, so a duty-cycle or CAD deferral is loss-free
+        even when the queue refilled to capacity in between.  The queue
+        may transiently hold ``capacity + 1`` packets; ``push`` keeps
+        dropping new arrivals until it drains back under the cap.
+        """
         if isinstance(packet, _PRIORITY_TYPES):
             self._control.appendleft(packet)
         else:
             self._data.appendleft(packet)
+        self.dequeued_total -= 1
         return True
 
     def __len__(self) -> int:
@@ -147,4 +163,5 @@ class SendQueue:
         out: List[Packet] = list(self._control) + list(self._data)
         self._control.clear()
         self._data.clear()
+        self.dequeued_total += len(out)
         return out

@@ -152,6 +152,12 @@ class ReliableTransport:
         #: was lost instead of treating retransmissions as a new stream.
         self._completed_inbound: Dict[Tuple[int, int], Tuple[float, int]] = {}
 
+        #: Observer tap (see repro.verify): ``(src, seq_id, kind)`` on
+        #: every reliable delivery to the application, with kind in
+        #: {"single", "stream"}.  The invariant checker uses it to assert
+        #: exactly-once delivery per (receiver, src, seq).
+        self.on_deliver: Optional[Callable[[int, int, str], None]] = None
+
         # Counters
         self.streams_started = 0
         self.streams_completed = 0
@@ -398,6 +404,8 @@ class ReliableTransport:
         if duplicate:
             self.duplicates_suppressed += 1
             return
+        if self.on_deliver is not None:
+            self.on_deliver(packet.src, packet.seq_id, "single")
         self._deliver(packet.src, packet.payload)
 
     def handle_sync(self, packet: SyncPacket) -> None:
@@ -412,8 +420,14 @@ class ReliableTransport:
         if key in self._inbound:
             return  # duplicate SYNC (retransmission); state already exists
         if packet.number == 0:
-            # Zero-fragment stream: degenerate but well-formed; ACK at once.
+            # Zero-fragment stream: degenerate but well-formed; ACK at
+            # once.  Record it as completed so a retransmitted SYNC (our
+            # ACK was lost) is re-ACKed instead of delivered again —
+            # without this the empty payload arrives once per SYNC retry.
+            self._completed_inbound[key] = (self._sim.now, 0)
             self._send_ack(packet.src, packet.seq_id, number=0)
+            if self.on_deliver is not None:
+                self.on_deliver(packet.src, packet.seq_id, "stream")
             self._deliver(packet.src, b"")
             return
         if len(self._inbound) >= self._config.max_inbound_streams:
@@ -533,6 +547,8 @@ class ReliableTransport:
                 stream.total_bytes,
             )
         self._send_ack(stream.src, stream.seq_id, number=stream.total_fragments)
+        if self.on_deliver is not None:
+            self.on_deliver(stream.src, stream.seq_id, "stream")
         self._deliver(stream.src, payload)
 
     def _arm_gap_timer(self, stream: _InboundStream) -> None:

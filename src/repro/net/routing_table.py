@@ -29,6 +29,13 @@ from repro.net.packets import NodeRole, RoutingEntry, rows_of
 #: Plain-int default role, hoisted out of the per-hello hot path.
 _DEFAULT_ROLE = int(NodeRole.DEFAULT)
 
+#: Merge-memo entries kept before half of the (insertion-oldest) keys
+#: are evicted.  Keys are neighbour addresses, so a static deployment
+#: never reaches the cap; mobile scenarios meet a stream of transient
+#: neighbours whose memos (each pinning an entries tuple) would
+#: otherwise accumulate forever.
+_MERGE_MEMO_MAX = 64
+
 logger = logging.getLogger(__name__)
 
 
@@ -239,7 +246,14 @@ class RoutingTable:
             # Pin the entries tuple so its id cannot be recycled while
             # the memo lives; any later table/SNR change ages it out via
             # the version checks.
-            self._merge_memo[src] = (
+            memo_table = self._merge_memo
+            if src not in memo_table and len(memo_table) >= _MERGE_MEMO_MAX:
+                # Bound the memo under neighbour churn: drop the oldest
+                # half (insertion order) rather than one-at-a-time, the
+                # same amortised idiom as the codec caches.
+                for key in list(memo_table)[: _MERGE_MEMO_MAX // 2]:
+                    del memo_table[key]
+            memo_table[src] = (
                 entries,
                 self._version,
                 self._snr_version,
@@ -309,6 +323,11 @@ class RoutingTable:
         ]
         for entry in expired:
             del self._routes[entry.address]
+            # The memo is keyed by teaching neighbour: once the direct
+            # route to a neighbour expires, its recorded no-op merge can
+            # never validate again (the expiry bumped the version), so
+            # keeping it would only pin the dead packet's entries tuple.
+            self._merge_memo.pop(entry.address, None)
             self._notify("removed", entry)
         return expired
 
@@ -319,6 +338,9 @@ class RoutingTable:
         for entry in dropped:
             del self._routes[entry.address]
             self._notify("removed", entry)
+        # The departed neighbour will not replay its last hello; evict its
+        # memo so the table does not pin it indefinitely.
+        self._merge_memo.pop(neighbour, None)
         return dropped
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ NODE_METRICS = (
     "repro_node_bytes_sent_total",
     "repro_node_data_delivered_total",
     "repro_node_data_forwarded_total",
+    "repro_node_ping_pong_forwards_total",
     "repro_node_no_route_drops_total",
     "repro_node_crc_failures_total",
     "repro_node_queue_depth",
@@ -84,6 +85,8 @@ def instrument_node(
             help="Data packets delivered to the application")
     counter("repro_node_data_forwarded_total", lambda n=node: _stat(n, "data_forwarded"),
             help="Data packets forwarded for other nodes")
+    counter("repro_node_ping_pong_forwards_total", lambda n=node: _stat(n, "ping_pong_forwards"),
+            help="Forwards whose next hop was the frame's previous transmitter")
     counter("repro_node_no_route_drops_total", lambda n=node: _stat(n, "no_route_drops"),
             help="Data packets dropped for lack of a route")
     counter("repro_node_crc_failures_total", lambda n=node: _stat(n, "crc_failures"),

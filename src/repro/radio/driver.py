@@ -143,6 +143,7 @@ class Radio:
             crc_ok=outcome.crc_ok,
             received_at=self._sim.now,
             params=outcome.params,
+            sender_id=outcome.sender_id,
         )
         if frame.crc_ok:
             self.frames_received += 1

@@ -22,6 +22,11 @@ class ReceivedFrame:
     crc_ok: bool
     received_at: float
     params: LoRaParams
+    #: Simulator-side identity of the transmitting radio (-1 when
+    #: unknown).  Real LoRa hardware has no such field — protocol logic
+    #: must never branch on it; it exists for diagnostics only (the
+    #: ping-pong forwarding metric and the invariant checker).
+    sender_id: int = -1
 
     @property
     def size(self) -> int:

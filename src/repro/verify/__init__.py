@@ -1,0 +1,47 @@
+"""Protocol verification: global invariant checking + fault injection.
+
+* :class:`~repro.verify.invariants.InvariantChecker` — audits routing
+  loops, via-consistency, metric sanity, exactly-once delivery, queue
+  conservation, and duty-cycle caps on a running network.
+* :class:`~repro.verify.faults.FaultInjector` — deterministic node
+  crash/revive, link blackout/asymmetry, and burst-loss scripts.
+
+See ``docs/verification.md`` for the invariant catalogue and the
+transient-tolerance (grace window) model.
+"""
+
+from repro.verify.faults import (
+    BurstLoss,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    LinkBlackout,
+    NodeCrash,
+    NodeRevive,
+    random_churn_plan,
+)
+from repro.verify.invariants import (
+    STRICT_ENV,
+    Invariant,
+    InvariantChecker,
+    InvariantViolation,
+    Violation,
+    strict_from_env,
+)
+
+__all__ = [
+    "Invariant",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Violation",
+    "STRICT_ENV",
+    "strict_from_env",
+    "NodeCrash",
+    "NodeRevive",
+    "LinkBlackout",
+    "BurstLoss",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "random_churn_plan",
+]

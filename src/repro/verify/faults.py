@@ -1,0 +1,296 @@
+"""Deterministic fault injection for verification scenarios.
+
+A :class:`FaultPlan` is a declarative script of timed faults — node
+crashes and revivals, link blackouts (optionally one-directional, which
+models antenna asymmetry), and windows of random burst frame loss.
+:class:`FaultInjector` arms a plan against a live
+:class:`~repro.net.api.MeshNetwork`: crash/revive become kernel events,
+link faults become a :data:`~repro.medium.channel.LossInjector` chained
+in front of whatever injector the medium already carries.
+
+Everything is deterministic.  Burst-loss coin flips hash the
+transmission id and listener through
+:func:`~repro.experiments.sweep.derive_seed`, so a replay with the same
+seed drops the identical frames regardless of audit timers or other
+observers running alongside — the property the invariant checker needs
+to turn "it looped once under churn" into a reproducible test case.
+
+Example::
+
+    plan = FaultPlan([
+        NodeCrash(node=0x0003, at=900.0),
+        NodeRevive(node=0x0003, at=1500.0),
+        LinkBlackout(a=0x0001, b=0x0002, start=600.0, end=1200.0),
+        BurstLoss(start=300.0, end=400.0, probability=0.5),
+    ])
+    FaultInjector(net, plan, seed=42).arm()
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.medium.channel import Transmission
+
+
+def _derive_seed(master: int, index: int) -> int:
+    # Imported lazily: repro.experiments.runner imports this module at
+    # load time, so a top-level import of repro.experiments.sweep would
+    # be circular through the experiments package __init__.
+    from repro.experiments.sweep import derive_seed
+
+    return derive_seed(master, index)
+
+__all__ = [
+    "NodeCrash",
+    "NodeRevive",
+    "LinkBlackout",
+    "BurstLoss",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "random_churn_plan",
+]
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Abrupt node death at ``at`` (radio off, timers stopped)."""
+
+    node: int
+    at: float
+
+
+@dataclass(frozen=True)
+class NodeRevive:
+    """Cold-start recovery at ``at`` (empty routing table)."""
+
+    node: int
+    at: float
+
+
+@dataclass(frozen=True)
+class LinkBlackout:
+    """Every frame from ``a`` is lost at ``b`` during [start, end).
+
+    ``symmetric`` (default) blacks out both directions; one-directional
+    blackouts model asymmetric links — exactly the failure mode that
+    stresses via-consistency, since ``b`` keeps refreshing ``a``'s
+    neighbour entry while ``a`` goes deaf.
+    """
+
+    a: int
+    b: int
+    start: float
+    end: float
+    symmetric: bool = True
+
+    def drops(self, sender: int, listener: int, now: float) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        if sender == self.a and listener == self.b:
+            return True
+        return self.symmetric and sender == self.b and listener == self.a
+
+
+@dataclass(frozen=True)
+class BurstLoss:
+    """Independent frame loss with ``probability`` during [start, end).
+
+    ``sender`` restricts the burst to one transmitter's frames;
+    ``listener`` to one receiver.  None means everyone.
+    """
+
+    start: float
+    end: float
+    probability: float
+    sender: Optional[int] = None
+    listener: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+
+    def applies(self, sender: int, listener: int, now: float) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        if self.sender is not None and sender != self.sender:
+            return False
+        return self.listener is None or listener == self.listener
+
+
+FaultEvent = Union[NodeCrash, NodeRevive, LinkBlackout, BurstLoss]
+
+
+@dataclass
+class FaultPlan:
+    """An ordered script of faults (a verification scenario)."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if isinstance(event, (NodeCrash, NodeRevive)) and event.at < 0:
+                raise ValueError(f"{event} scheduled before t=0")
+            if isinstance(event, (LinkBlackout, BurstLoss)) and event.end <= event.start:
+                raise ValueError(f"{event} has an empty window")
+
+    @property
+    def crashes(self) -> List[NodeCrash]:
+        return [e for e in self.events if isinstance(e, NodeCrash)]
+
+    @property
+    def revives(self) -> List[NodeRevive]:
+        return [e for e in self.events if isinstance(e, NodeRevive)]
+
+    @property
+    def link_faults(self) -> List[Union[LinkBlackout, BurstLoss]]:
+        return [e for e in self.events if isinstance(e, (LinkBlackout, BurstLoss))]
+
+    @property
+    def horizon(self) -> float:
+        """Time by which every scripted fault has played out."""
+        ends = [0.0]
+        for e in self.events:
+            ends.append(e.at if isinstance(e, (NodeCrash, NodeRevive)) else e.end)
+        return max(ends)
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against a live network."""
+
+    def __init__(self, net, plan: FaultPlan, *, seed: int = 0) -> None:
+        self.net = net
+        self.plan = plan
+        self.seed = seed
+        self.dropped_frames = 0
+        self._armed = False
+        self._handles: list = []
+        self._chained = None
+
+    def arm(self) -> "FaultInjector":
+        """Schedule crash/revive events and install the loss injector.
+
+        Idempotent; call before (or while) the simulation runs — events
+        in the past are skipped by the kernel's scheduling rules, so arm
+        at construction time of the scenario.
+        """
+        if self._armed:
+            return self
+        self._armed = True
+        sim = self.net.sim
+        for crash in self.plan.crashes:
+            self._handles.append(
+                sim.schedule_at(
+                    crash.at,
+                    lambda c=crash: self._crash(c.node),
+                    label=f"fault: crash 0x{crash.node:04X}",
+                )
+            )
+        for revive in self.plan.revives:
+            self._handles.append(
+                sim.schedule_at(
+                    revive.at,
+                    lambda r=revive: self._revive(r.node),
+                    label=f"fault: revive 0x{revive.node:04X}",
+                )
+            )
+        if self.plan.link_faults:
+            self._chained = self.net.medium.loss_injector
+            self.net.medium.loss_injector = self._inject
+        return self
+
+    def disarm(self) -> None:
+        """Cancel pending events and restore the previous injector."""
+        if not self._armed:
+            return
+        self._armed = False
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+        if self.plan.link_faults:
+            self.net.medium.loss_injector = self._chained
+            self._chained = None
+
+    # ------------------------------------------------------------------
+    def _crash(self, address: int) -> None:
+        node = self.net.node(address)
+        if node.radio.powered:
+            node.fail()
+
+    def _revive(self, address: int) -> None:
+        node = self.net.node(address)
+        if not node.radio.powered:
+            node.recover()
+
+    def _inject(self, tx: Transmission, listener: int) -> bool:
+        now = self.net.sim.now
+        for fault in self.plan.link_faults:
+            if isinstance(fault, LinkBlackout):
+                if fault.drops(tx.sender_id, listener, now):
+                    self.dropped_frames += 1
+                    return True
+            elif fault.applies(tx.sender_id, listener, now):
+                if self._coin(tx.tx_id, listener) < fault.probability:
+                    self.dropped_frames += 1
+                    return True
+        if self._chained is not None:
+            return self._chained(tx, listener)
+        return False
+
+    def _coin(self, tx_id: int, listener: int) -> float:
+        """A uniform [0, 1) draw keyed by (seed, transmission, listener).
+
+        Hash-derived rather than drawn from a shared stream so the
+        outcome for a given frame is independent of how many *other*
+        frames any co-resident injector or observer has seen.
+        """
+        return _derive_seed(self.seed, tx_id * 0x1_0001 + listener) / 2**64
+
+
+def random_churn_plan(
+    addresses: Sequence[int],
+    *,
+    seed: int,
+    start: float,
+    end: float,
+    cycles: int = 3,
+    down_s: float = 300.0,
+    spare: int = 1,
+) -> FaultPlan:
+    """A deterministic crash/revive churn script.
+
+    Picks ``cycles`` victims (with replacement across cycles, never more
+    than ``len(addresses) - spare`` distinct nodes down at once — the
+    mesh keeps at least ``spare`` nodes alive) and schedules each a
+    crash at a seed-derived time in ``[start, end - down_s)`` followed
+    by a revival ``down_s`` later.  The same ``(addresses, seed, ...)``
+    always yields the identical plan.
+    """
+    if end - down_s <= start:
+        raise ValueError("churn window too small for the down time")
+    if len(addresses) <= spare:
+        raise ValueError("not enough nodes to churn")
+    rng = random.Random(_derive_seed(seed, 0xC4))
+    events: List[FaultEvent] = []
+    down_windows: List[Tuple[int, float, float]] = []
+    for cycle in range(cycles):
+        at = start + rng.random() * (end - down_s - start)
+        # Victims whose down-window would overlap too many others are
+        # re-picked so the network never loses more than its spare.
+        for _ in range(16):
+            victim = addresses[rng.randrange(len(addresses))]
+            overlapping = {
+                v for v, s, e in down_windows if s < at + down_s and at < e
+            }
+            if victim not in overlapping and len(overlapping) < len(addresses) - spare:
+                break
+        else:  # pragma: no cover - pathological parameters
+            continue
+        down_windows.append((victim, at, at + down_s))
+        events.append(NodeCrash(node=victim, at=at))
+        events.append(NodeRevive(node=victim, at=at + down_s))
+    events.sort(key=lambda e: e.at if isinstance(e, (NodeCrash, NodeRevive)) else e.start)
+    return FaultPlan(events)

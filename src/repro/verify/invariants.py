@@ -1,0 +1,543 @@
+"""Global-view protocol invariant checking.
+
+The simulator can see what no real deployment can: every routing table,
+queue counter, and duty-cycle ledger at once.  :class:`InvariantChecker`
+exploits that omniscience to audit the protocol's global invariants
+while a scenario runs — as an *observer* riding the node taps
+(``on_route_event``, ``on_forward_decision``, ``reliable.on_deliver``)
+plus a periodic full audit.  It never mutates protocol state, so an
+audited run is bit-identical to an unaudited one.
+
+Invariant classes
+-----------------
+
+``VIA_CONSISTENCY`` (hard)
+    Every routing-table entry's next hop is a *current direct
+    neighbour*.  Structural in this implementation: ``heard_from``
+    precedes every merge, and expiry removes dependent routes with (or
+    before) the neighbour entry, so the periodic audit — which runs
+    between events, never mid-purge — must always find it true.
+
+``METRIC_SANITY`` (hard bounds, graced monotonicity)
+    Metrics sit in ``[1, max_metric]`` and ``metric == 1`` iff the
+    entry is the direct route (``via == address``).  Monotonicity along
+    the via chain (my metric should exceed my next hop's) is only
+    *eventually* true in a distance-vector protocol — neighbours
+    legitimately disagree between hellos — so non-monotone steps are
+    counted as observations and violate only when one ``(node, dst)``
+    pair stays non-monotone past the grace window.
+
+``ROUTING_LOOP`` (graced)
+    Following next hops from any node towards any destination must
+    terminate.  Transient loops are *inherent* to RIP-style DV
+    (count-to-infinity, bounded by ``max_metric`` and route expiry), so
+    a cycle only violates when it persists past ``loop_grace_s`` —
+    defaulted to the analytic settling bound
+    ``max_metric * hello_period + route_timeout``.  Cycles towards
+    destinations that are currently dead ("ghost" destinations) are
+    pure convergence debris and are only ever counted.
+
+``EXACTLY_ONCE`` (hard)
+    The reliable transport never hands the application the same
+    ``(src, seq_id)`` twice within its deduplication window.
+
+``CONSERVATION`` (hard)
+    Queue flow balance: ``enqueued_total == dequeued_total + len(q)``
+    for every send queue and inbox, with all counters non-negative.
+    A frame leaves a queue only by being popped (counted) or dropped at
+    the door (counted) — nothing vanishes.
+
+``DUTY_CYCLE`` (hard)
+    No node's trailing-window airtime utilisation exceeds its regional
+    cap.
+
+Violations raise :class:`InvariantViolation` in strict mode (set
+``REPRO_STRICT_INVARIANTS=1`` or pass ``strict=True``) and are always
+collected on :attr:`InvariantChecker.violations` and exported through
+the metrics registry as ``repro_verify_violations_total{invariant=…}``.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.mesher import MesherNode
+from repro.net.reliable import ReliableTransport
+
+__all__ = [
+    "Invariant",
+    "Violation",
+    "InvariantViolation",
+    "InvariantChecker",
+    "STRICT_ENV",
+    "strict_from_env",
+]
+
+#: Environment variable that switches violations from counted to fatal.
+STRICT_ENV = "REPRO_STRICT_INVARIANTS"
+
+
+class Invariant(enum.Enum):
+    """The six audited invariant classes."""
+
+    ROUTING_LOOP = "routing_loop"
+    VIA_CONSISTENCY = "via_consistency"
+    METRIC_SANITY = "metric_sanity"
+    EXACTLY_ONCE = "exactly_once"
+    CONSERVATION = "conservation"
+    DUTY_CYCLE = "duty_cycle"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One confirmed invariant breach."""
+
+    invariant: Invariant
+    time: float  # simulated seconds
+    node: Optional[int]  # offending node address, when attributable
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" node 0x{self.node:04X}" if self.node is not None else ""
+        return f"[t={self.time:.1f}s{where}] {self.invariant.value}: {self.detail}"
+
+
+class InvariantViolation(AssertionError):
+    """Raised in strict mode; carries the :class:`Violation`."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+def strict_from_env(default: bool = False) -> bool:
+    """Whether ``REPRO_STRICT_INVARIANTS`` asks for fatal violations."""
+    raw = os.environ.get(STRICT_ENV)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("", "0", "false", "no")
+
+
+@dataclass
+class _Persistence:
+    """First-seen bookkeeping for graced (transient-tolerant) checks."""
+
+    first_seen: float
+    last_detail: str = ""
+
+
+class InvariantChecker:
+    """Audits a :class:`~repro.net.api.MeshNetwork` against the global
+    protocol invariants.
+
+    Usage::
+
+        checker = InvariantChecker(net, registry=registry)
+        checker.attach()          # taps + periodic audit
+        net.run(for_s=3600)
+        checker.audit()           # one final sweep
+        checker.assert_clean()    # raise if anything broke
+
+    ``strict`` defaults to the ``REPRO_STRICT_INVARIANTS`` environment
+    variable; when true the first violation raises
+    :class:`InvariantViolation` from inside the offending audit or tap.
+    """
+
+    def __init__(
+        self,
+        net,
+        *,
+        audit_period_s: float = 30.0,
+        loop_grace_s: Optional[float] = None,
+        strict: Optional[bool] = None,
+        registry=None,
+    ) -> None:
+        if audit_period_s <= 0:
+            raise ValueError("audit_period_s must be positive")
+        self.net = net
+        self.sim = net.sim
+        self.audit_period_s = audit_period_s
+        self.strict = strict_from_env() if strict is None else strict
+        self.loop_grace_s = (
+            loop_grace_s if loop_grace_s is not None else self._default_grace()
+        )
+        #: Any routing cycle necessarily contains a non-monotone metric
+        #: step, so persistent non-monotonicity escalates on a longer
+        #: fuse than the loop check — a real loop is reported as
+        #: ROUTING_LOOP, and METRIC_SANITY only fires for non-monotone
+        #: chains that never close into a cycle.
+        self.monotone_grace_s = 2.0 * self.loop_grace_s
+        self.violations: List[Violation] = []
+        #: Transient/benign observation counts (convergence debris the
+        #: checker tolerates but reports): keys include
+        #: ``loop_transient``, ``loop_ghost``, ``non_monotone``,
+        #: ``chain_break``, ``ping_pong``.
+        self.observations: Dict[str, int] = {}
+        self.audits_run = 0
+        self._timer = None
+        self._attached = False
+        # Graced-state tracking across audits.
+        self._loop_seen: Dict[Tuple[int, int], _Persistence] = {}
+        self._monotone_seen: Dict[Tuple[int, int], _Persistence] = {}
+        # Exactly-once ledger: (receiver, src, seq_id, kind) -> last time.
+        self._deliveries: Dict[Tuple[int, int, int, str], float] = {}
+        self._counters: Dict[Invariant, object] = {}
+        self._saved_taps: Dict[int, tuple] = {}
+        if registry is not None:
+            self.bind_registry(registry)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _default_grace(self) -> float:
+        """Analytic DV settling bound over the attached nodes' configs.
+
+        A stale route survives at most ``route_timeout`` without
+        refreshes, and count-to-infinity climbs one metric step per
+        hello round, so ``max_metric * hello_period + route_timeout``
+        upper-bounds how long any transient cycle can legitimately live.
+        """
+        bound = 0.0
+        for node in self.net.nodes:
+            cfg = node.config
+            bound = max(bound, cfg.max_metric * cfg.hello_period_s + cfg.route_timeout_s)
+        return bound or 3600.0
+
+    def bind_registry(self, registry) -> None:
+        """Register ``repro_verify_*`` instruments on ``registry``."""
+        for inv in Invariant:
+            self._counters[inv] = registry.counter(
+                "repro_verify_violations_total",
+                labels={"invariant": inv.value},
+                help="Confirmed protocol invariant violations",
+            )
+        registry.counter(
+            "repro_verify_audits_total",
+            fn=lambda: self.audits_run,
+            help="Full invariant audits executed",
+        )
+        registry.gauge(
+            "repro_verify_transient_loops",
+            fn=lambda: len(self._loop_seen),
+            help="Routing cycles currently inside the grace window",
+        )
+        registry.counter(
+            "repro_verify_observations_total",
+            fn=lambda: float(sum(self.observations.values())),
+            help="Benign/transient observations (ghost loops, ping-pongs, ...)",
+        )
+
+    def attach(self) -> "InvariantChecker":
+        """Install node taps and start the periodic audit timer."""
+        if self._attached:
+            return self
+        self._attached = True
+        for node in self.net.nodes:
+            self._tap_node(node)
+        self._timer = self.sim.periodic(
+            self.audit_period_s, self.audit, label="invariant audit"
+        )
+        return self
+
+    def detach(self) -> None:
+        """Stop auditing and restore the original taps."""
+        if not self._attached:
+            return
+        self._attached = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        for node in self.net.nodes:
+            saved = self._saved_taps.pop(node.address, None)
+            if saved is not None:
+                node.on_route_event, node.on_forward_decision, node.reliable.on_deliver = saved
+
+    def _tap_node(self, node: MesherNode) -> None:
+        self._saved_taps[node.address] = (
+            node.on_route_event,
+            node.on_forward_decision,
+            node.reliable.on_deliver,
+        )
+        prev_route = node.on_route_event
+        prev_forward = node.on_forward_decision
+        prev_deliver = node.reliable.on_deliver
+
+        def route_event(kind, entry, _node=node, _prev=prev_route):
+            self._on_route_event(_node, kind, entry)
+            if _prev is not None:
+                _prev(kind, entry)
+
+        def forward_decision(packet, decision, previous_hop, _node=node, _prev=prev_forward):
+            self._on_forward_decision(_node, packet, decision, previous_hop)
+            if _prev is not None:
+                _prev(packet, decision, previous_hop)
+
+        def deliver(src, seq_id, kind, _node=node, _prev=prev_deliver):
+            self._on_reliable_delivery(_node, src, seq_id, kind)
+            if _prev is not None:
+                _prev(src, seq_id, kind)
+
+        node.on_route_event = route_event
+        node.on_forward_decision = forward_decision
+        node.reliable.on_deliver = deliver
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _observe(self, kind: str, count: int = 1) -> None:
+        self.observations[kind] = self.observations.get(kind, 0) + count
+
+    def _violate(self, invariant: Invariant, node: Optional[int], detail: str) -> None:
+        violation = Violation(invariant, self.sim.now, node, detail)
+        self.violations.append(violation)
+        counter = self._counters.get(invariant)
+        if counter is not None:
+            counter.inc()
+        if self.strict:
+            raise InvariantViolation(violation)
+
+    # ------------------------------------------------------------------
+    # Tap-driven (per-event) checks
+    # ------------------------------------------------------------------
+    def _on_route_event(self, node: MesherNode, kind: str, entry) -> None:
+        if kind == "removed":
+            # A vanished (node, dst) pair cannot stay non-monotone.
+            self._monotone_seen.pop((node.address, entry.address), None)
+            return
+        self._check_entry_sanity(node, entry)
+
+    def _check_entry_sanity(self, node: MesherNode, entry) -> None:
+        max_metric = node.table.max_metric
+        if not 1 <= entry.metric <= max_metric:
+            self._violate(
+                Invariant.METRIC_SANITY,
+                node.address,
+                f"route to 0x{entry.address:04X} has metric {entry.metric} "
+                f"outside [1, {max_metric}]",
+            )
+        if (entry.metric == 1) != (entry.via == entry.address):
+            self._violate(
+                Invariant.METRIC_SANITY,
+                node.address,
+                f"route to 0x{entry.address:04X}: metric {entry.metric} with "
+                f"via 0x{entry.via:04X} breaks metric==1 <=> direct",
+            )
+
+    def _on_forward_decision(self, node: MesherNode, packet, decision, previous_hop: int) -> None:
+        if getattr(decision, "ping_pong", False):
+            self._observe("ping_pong")
+
+    def _on_reliable_delivery(self, node: MesherNode, src: int, seq_id: int, kind: str) -> None:
+        key = (node.address, src, seq_id, kind)
+        now = self.sim.now
+        last = self._deliveries.get(key)
+        window = ReliableTransport.DEDUP_WINDOW_S
+        if last is not None and now - last < window:
+            self._violate(
+                Invariant.EXACTLY_ONCE,
+                node.address,
+                f"duplicate {kind} delivery from 0x{src:04X} seq={seq_id} "
+                f"({now - last:.1f}s after the first, window {window:.0f}s)",
+            )
+        self._deliveries[key] = now
+        # Ledger hygiene: drop entries the transport itself has forgotten.
+        if len(self._deliveries) > 4096:
+            horizon = now - window
+            self._deliveries = {
+                k: t for k, t in self._deliveries.items() if t >= horizon
+            }
+
+    # ------------------------------------------------------------------
+    # Periodic full audit
+    # ------------------------------------------------------------------
+    def audit(self) -> List[Violation]:
+        """Run every global check once; returns violations found *by
+        this call* (also appended to :attr:`violations`)."""
+        before = len(self.violations)
+        live = {
+            n.address: n
+            for n in self.net.nodes
+            if n.started and n.radio.powered
+        }
+        for node in live.values():
+            self._audit_tables(node, live)
+            self._audit_conservation(node)
+            self._audit_duty(node)
+        self._audit_loops(live)
+        self.audits_run += 1
+        return self.violations[before:]
+
+    def _audit_tables(self, node: MesherNode, live: Dict[int, MesherNode]) -> None:
+        table = node.table
+        for entry in table:
+            self._check_entry_sanity(node, entry)
+            # Via-consistency: next hop must be a live direct neighbour.
+            via_entry = table.get(entry.via)
+            if via_entry is None or not via_entry.is_neighbour:
+                self._violate(
+                    Invariant.VIA_CONSISTENCY,
+                    node.address,
+                    f"route to 0x{entry.address:04X} via 0x{entry.via:04X}, "
+                    "but the via is not a current direct neighbour",
+                )
+                continue
+            # Graced monotonicity along the via chain.
+            if entry.metric > 1:
+                self._check_monotone(node, entry, live)
+
+    def _check_monotone(self, node: MesherNode, entry, live: Dict[int, MesherNode]) -> None:
+        key = (node.address, entry.address)
+        via_node = live.get(entry.via)
+        if via_node is None:
+            self._monotone_seen.pop(key, None)
+            return
+        downstream = via_node.table.get(entry.address)
+        if downstream is None:
+            # The next hop lost its route first — a chain break the next
+            # hello round repairs (or expires); benign.
+            self._observe("chain_break")
+            self._monotone_seen.pop(key, None)
+            return
+        if downstream.metric < entry.metric:
+            self._monotone_seen.pop(key, None)
+            return
+        self._observe("non_monotone")
+        now = self.sim.now
+        state = self._monotone_seen.get(key)
+        detail = (
+            f"route to 0x{entry.address:04X}: metric {entry.metric} via "
+            f"0x{entry.via:04X} whose own metric is {downstream.metric}"
+        )
+        if state is None:
+            self._monotone_seen[key] = _Persistence(now, detail)
+        elif now - state.first_seen > self.monotone_grace_s:
+            self._violate(
+                Invariant.METRIC_SANITY,
+                node.address,
+                f"{detail} — non-monotone for {now - state.first_seen:.0f}s "
+                f"(grace {self.monotone_grace_s:.0f}s)",
+            )
+            del self._monotone_seen[key]
+
+    def _audit_loops(self, live: Dict[int, MesherNode]) -> None:
+        now = self.sim.now
+        seen_this_audit = set()
+        for node in live.values():
+            for dst in node.table.destinations():
+                cycle = self._walk(node, dst, live)
+                if cycle is None:
+                    continue
+                if dst not in live:
+                    # Ghost destination: the mesh is counting a dead node
+                    # to infinity — expected debris, never a violation.
+                    self._observe("loop_ghost")
+                    continue
+                self._observe("loop_transient")
+                key = (node.address, dst)
+                seen_this_audit.add(key)
+                state = self._loop_seen.get(key)
+                detail = (
+                    f"cycle towards 0x{dst:04X}: "
+                    + " -> ".join(f"0x{a:04X}" for a in cycle)
+                )
+                if state is None:
+                    self._loop_seen[key] = _Persistence(now, detail)
+                elif now - state.first_seen > self.loop_grace_s:
+                    self._violate(
+                        Invariant.ROUTING_LOOP,
+                        node.address,
+                        f"{detail} — persisted {now - state.first_seen:.0f}s "
+                        f"(grace {self.loop_grace_s:.0f}s)",
+                    )
+                    del self._loop_seen[key]
+        # Cycles that healed since the last audit leave the ledger.
+        for key in list(self._loop_seen):
+            if key not in seen_this_audit:
+                del self._loop_seen[key]
+
+    def _walk(
+        self, origin: MesherNode, dst: int, live: Dict[int, MesherNode]
+    ) -> Optional[List[int]]:
+        """Follow next hops from ``origin`` towards ``dst``.
+
+        Returns the visited chain when it cycles, None when it
+        terminates (delivery, a dead hop, or a missing route — the
+        latter two are counted, not violations: frames on that chain
+        drop, they do not loop).
+        """
+        visited = [origin.address]
+        current = origin
+        for _ in range(len(live) + 1):
+            next_hop = current.table.next_hop(dst)
+            if next_hop is None:
+                if current is not origin:
+                    self._observe("chain_break")
+                return None
+            if next_hop == dst:
+                return None
+            if next_hop in visited:
+                visited.append(next_hop)
+                return visited
+            visited.append(next_hop)
+            nxt = live.get(next_hop)
+            if nxt is None:
+                # Next hop is dead: via-consistency / expiry will clean
+                # this up; the chain cannot loop through a dead radio.
+                return None
+            current = nxt
+        # Chain longer than the node count without repeating — impossible
+        # unless addresses leak; flag loudly as a loop.
+        return visited
+
+    def _audit_conservation(self, node: MesherNode) -> None:
+        for label, queue in (("send_queue", node.send_queue), ("inbox", node.inbox)):
+            enq = queue.enqueued_total
+            deq = queue.dequeued_total
+            depth = len(queue)
+            if deq < 0 or enq < 0 or queue.dropped < 0 or deq > enq or enq != deq + depth:
+                self._violate(
+                    Invariant.CONSERVATION,
+                    node.address,
+                    f"{label} flow imbalance: enqueued={enq} != "
+                    f"dequeued={deq} + depth={depth} (dropped={queue.dropped})",
+                )
+
+    def _audit_duty(self, node: MesherNode) -> None:
+        cap = node.duty.region.duty_cycle
+        utilisation = node.duty.window_utilisation(self.sim.now)
+        if utilisation > cap + 1e-9:
+            self._violate(
+                Invariant.DUTY_CYCLE,
+                node.address,
+                f"duty-cycle utilisation {utilisation:.4f} exceeds the "
+                f"{node.duty.region.name} cap {cap:.4f}",
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def violation_counts(self) -> Dict[str, int]:
+        """Violations per invariant name (zero-filled)."""
+        counts = {inv.value: 0 for inv in Invariant}
+        for v in self.violations:
+            counts[v.invariant.value] += 1
+        return counts
+
+    def summary(self) -> Dict[str, object]:
+        """A JSON-friendly report of the run's verification state."""
+        return {
+            "audits": self.audits_run,
+            "strict": self.strict,
+            "loop_grace_s": self.loop_grace_s,
+            "violations": self.violation_counts(),
+            "violation_details": [str(v) for v in self.violations],
+            "observations": dict(sorted(self.observations.items())),
+        }
+
+    def assert_clean(self) -> None:
+        """Raise :class:`InvariantViolation` if any violation was seen."""
+        if self.violations:
+            raise InvariantViolation(self.violations[0])

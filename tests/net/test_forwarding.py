@@ -56,6 +56,24 @@ class TestClassification:
         decision = classify(pkt(dst=ME, via=ME), ME, table)
         assert decision.action is ForwardAction.DELIVER
 
+    def test_ping_pong_flagged_when_next_hop_is_previous_transmitter(self, table):
+        decision = classify(pkt(dst=FAR, via=ME), ME, table, previous_hop=NEXT)
+        assert decision.action is ForwardAction.FORWARD
+        assert decision.ping_pong
+        # The frame is still forwarded — the firmware has no previous-hop
+        # knowledge, so the flag must never change behaviour.
+        assert decision.outgoing.via == NEXT
+
+    def test_ping_pong_clear_when_previous_hop_differs(self, table):
+        decision = classify(pkt(dst=FAR, via=ME), ME, table, previous_hop=OTHER)
+        assert decision.action is ForwardAction.FORWARD
+        assert not decision.ping_pong
+
+    def test_ping_pong_clear_without_previous_hop(self, table):
+        decision = classify(pkt(dst=FAR, via=ME), ME, table)
+        assert decision.action is ForwardAction.FORWARD
+        assert not decision.ping_pong
+
     def test_control_packets_forwarded_too(self, table):
         ackpkt = AckPacket(dst=FAR, src=OTHER, via=ME, seq_id=1, number=2)
         decision = classify(ackpkt, ME, table)

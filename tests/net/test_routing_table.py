@@ -211,3 +211,52 @@ class TestValidation:
         text = t.format()
         assert "0002" in text
         assert "metric=1" in text
+
+
+class TestMergeMemoEviction:
+    """Regression: the no-op merge memo must not grow without bound in
+    mobile scenarios (ISSUE 5 satellite)."""
+
+    def _noop_hello(self, t, src, now):
+        """Two identical merges: the second is a no-op and lands a memo."""
+        entries = (RoutingEntry(address=FAR, metric=1),)
+        t.process_hello(src, entries, now=now)
+        t.process_hello(src, entries, now=now)
+        return entries
+
+    def test_memo_evicted_when_neighbour_route_expires(self):
+        t = RoutingTable(ME, route_timeout=100.0)
+        self._noop_hello(t, N1, now=0.0)
+        assert N1 in t._merge_memo
+        t.purge(now=500.0)
+        assert N1 not in t._merge_memo
+
+    def test_memo_evicted_on_remove_via(self):
+        t = table()
+        self._noop_hello(t, N1, now=0.0)
+        assert N1 in t._merge_memo
+        t.remove_via(N1)
+        assert N1 not in t._merge_memo
+
+    def test_memo_capped_under_neighbour_churn(self):
+        from repro.net.routing_table import _MERGE_MEMO_MAX
+
+        t = RoutingTable(ME, route_timeout=10_000.0)
+        # A long parade of transient neighbours, each leaving a no-op
+        # memo behind and never expiring within the run.
+        for i in range(4 * _MERGE_MEMO_MAX):
+            src = 0x1000 + i
+            entries = (RoutingEntry(address=FAR, metric=1),)
+            t.process_hello(src, entries, now=float(i))
+            t.process_hello(src, entries, now=float(i))
+        assert len(t._merge_memo) <= _MERGE_MEMO_MAX
+
+    def test_memo_still_correct_after_eviction(self):
+        # Eviction must only cost performance, never change merge results.
+        t = table()
+        entries = (RoutingEntry(address=FAR, metric=1),)
+        t.process_hello(N1, entries, now=0.0)
+        t.process_hello(N1, entries, now=1.0)  # memoized no-op
+        t._merge_memo.clear()  # simulate eviction
+        assert t.process_hello(N1, entries, now=2.0) == 0
+        assert t.get(FAR).updated_at == 2.0

@@ -80,3 +80,92 @@ class TestClassifyProperties:
         decision = classify(packet, ME, table)
         if packet.dst not in (ME, BROADCAST_ADDRESS) and packet.via != ME:
             assert decision.action is ForwardAction.OVERHEAR
+
+
+# ---------------------------------------------------------------------------
+# Forwarding chains on *consistent* tables
+# ---------------------------------------------------------------------------
+#
+# Count-to-infinity transients aside, once every node's table agrees with
+# its neighbours' (a fixed point of hello exchange), the follow-your-via
+# rule must route any packet along a simple path: no node is ever visited
+# twice, no hop is a ping-pong back to the transmitter, and the walk ends
+# at the destination.  This is the property the invariant checker's loop
+# detector assumes; here hypothesis drives it over random connected graphs.
+
+graphs = st.integers(min_value=2, max_value=7).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        # Parent pointer per node 1..n-1 builds a random spanning tree.
+        st.tuples(*(st.integers(0, k - 1) for k in range(1, n))),
+        # Optional extra edges densify the tree into a general graph.
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=n,
+        ),
+    )
+)
+
+
+def converge_tables(n, parents, extras):
+    """Build per-node RoutingTables and run synchronous hello rounds to a
+    fixed point.  Addresses are 1..n (index + 1)."""
+    adjacency = {i: set() for i in range(n)}
+    for child, parent in enumerate(parents, start=1):
+        adjacency[child].add(parent)
+        adjacency[parent].add(child)
+    for a, b in extras:
+        if a != b:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    tables = [RoutingTable(i + 1) for i in range(n)]
+    now = 0.0
+    for _ in range(2 * n):
+        before = [t.version for t in tables]
+        adverts = [t.snapshot() for t in tables]
+        for u in range(n):
+            for v in adjacency[u]:
+                tables[v].process_hello(u + 1, adverts[u], now=now)
+            now += 1.0
+        if [t.version for t in tables] == before:
+            break
+    return tables
+
+
+class TestConsistentTableChains:
+    @given(graph=graphs)
+    def test_chains_are_simple_paths(self, graph):
+        n, parents, extras = graph
+        tables = converge_tables(n, parents, extras)
+        for src in range(n):
+            for dst in range(n):
+                if dst == src or not tables[src].has_route(dst + 1):
+                    continue
+                packet = DataPacket(
+                    dst=dst + 1,
+                    src=src + 1,
+                    via=tables[src].next_hop(dst + 1),
+                    payload=b"walk",
+                )
+                visited = [src + 1]
+                previous = src + 1
+                current = packet.via
+                for _ in range(n + 1):
+                    assert current not in visited, (
+                        f"chain {visited + [current]} revisits {current}"
+                    )
+                    visited.append(current)
+                    decision = classify(
+                        packet, current, tables[current - 1], previous_hop=previous
+                    )
+                    if decision.action is ForwardAction.DELIVER:
+                        break
+                    assert decision.action is ForwardAction.FORWARD, (
+                        f"chain to {dst + 1} broke at {current}: {decision.action}"
+                    )
+                    assert not decision.ping_pong
+                    packet = decision.outgoing
+                    previous, current = current, decision.next_hop
+                else:  # pragma: no cover - loud failure if the walk never ends
+                    raise AssertionError(f"chain {visited} never delivered")
+                assert visited[-1] == dst + 1
