@@ -70,6 +70,68 @@ def test_perf_mesh_simulated_hour(benchmark):
     assert frames > 0
 
 
+def _bench_net():
+    return MeshNetwork.from_positions(
+        grid_positions(3, 3, spacing_m=100.0),
+        config=BENCH_CONFIG,
+        seed=1,
+        trace_enabled=False,
+    )
+
+
+def test_perf_mesh_hour_run_baseline(benchmark):
+    """One simulated hour, network construction excluded.
+
+    Baseline half of the store-overhead pair: measures ``net.run`` alone
+    so it has the same region boundaries as the stored variant below.
+    """
+
+    def setup():
+        return (_bench_net(),), {}
+
+    def run(net):
+        net.run(for_s=3600.0)
+        return net.total_frames_sent()
+
+    frames = benchmark.pedantic(run, setup=setup, rounds=15)
+    assert frames > 0
+
+
+def test_perf_mesh_hour_run_stored(benchmark, tmp_path):
+    """The same simulated hour, streamed into a WAL-mode event store.
+
+    Pairs with ``test_perf_mesh_hour_run_baseline``: the delta is the
+    recording overhead of persistent observability (frame/route taps,
+    hand-encoded JSON rows, SQLite batch commits) over the workload,
+    including the end-of-run detach flush.  Store creation and the
+    final close (index build + WAL checkpoint) are per-run fixed costs,
+    kept in setup/cleanup.  Acceptance budget: < 10% over baseline —
+    recorded as a paired entry in BENCH_perf.json.
+    """
+    from repro.obs.store import EventStore, StoreRecorder
+
+    stores = []
+
+    def setup():
+        net = _bench_net()
+        store = EventStore(tmp_path / f"bench-{len(stores)}.db")
+        stores.append(store)
+        recorder = StoreRecorder(store, net).attach()
+        return (net, recorder), {}
+
+    def run(net, recorder):
+        net.run(for_s=3600.0)
+        recorder.detach()  # flushes; every event is durable in the WAL
+        return net.total_frames_sent()
+
+    frames = benchmark.pedantic(run, setup=setup, rounds=15)
+    events = stores[-1].appended
+    for store in stores:
+        store.close()
+    assert frames > 0
+    assert events > frames  # frames plus routes/markers all landed
+
+
 def test_perf_kernel_hotspot_attribution(benchmark):
     """Where the wall-clock actually goes: the profiler's hot-spot table.
 

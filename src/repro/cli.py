@@ -5,6 +5,9 @@ console, plus planning helpers::
 
     python -m repro.cli demo                     # the 4-node live demo
     python -m repro.cli simulate --nodes 6 --topology grid --duration 1800
+    python -m repro.cli simulate --store run.db  # stream into an event store
+    python -m repro.cli serve --store run.db     # live/replay web dashboard
+    python -m repro.cli replay --store run.db --speed 60
     python -m repro.cli airtime --payload 24 --sf 7 9 12
     python -m repro.cli plan --spacing 120      # does this placement mesh?
 
@@ -14,6 +17,7 @@ Every subcommand is deterministic for a given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -96,7 +100,31 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         from repro.trace.capture import AirCapture
 
         capture = AirCapture(net.medium)
+    store = recorder = sampler = None
+    if getattr(args, "store", None):
+        from repro.obs import (
+            EventStore,
+            MetricsRegistry,
+            StoreRecorder,
+            TimeSeriesSampler,
+            instrument_network,
+        )
+
+        store = EventStore(args.store, mode="w")
+        store.set_meta("protocol", "mesh")
+        store.set_meta("seed", args.seed)
+        store.set_meta("n_nodes", len(positions))
+        store.set_meta("duration_s", args.duration)
+        sampler = TimeSeriesSampler(
+            net.sim,
+            instrument_network(MetricsRegistry(), net),
+            period_s=max(args.duration / 30.0, 60.0),
+        )
+        sampler.sample_now()  # t=0 baseline point
+        recorder = StoreRecorder(store, net, sampler=sampler).attach()
     convergence = net.run_until_converged(timeout_s=args.duration)
+    if recorder is not None and convergence is not None:
+        recorder.mark("converged", convergence_s=convergence)
     remaining = args.duration - net.sim.now
     if remaining > 0:
         net.run(for_s=remaining)
@@ -137,6 +165,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if trace_path:
         path = net.trace.export_jsonl(trace_path)
         print(f"\ntrace: {len(net.trace)} events written to {path}")
+    if recorder is not None and store is not None:
+        if sampler is not None:
+            sampler.stop()
+            sampler.sample_now()  # end-of-run health point
+        recorder.detach()
+        count = store.count()
+        store.close()
+        print(
+            f"\nevent store: {count} events in {args.store} "
+            f"(serve with `repro serve --store {args.store}`)"
+        )
     return 0 if convergence is not None else 1
 
 
@@ -395,6 +434,112 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if checker.violations else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the web dashboard over an event store (live or finished)."""
+    from repro.obs.dashboard import DashboardServer
+
+    try:
+        server = DashboardServer(args.store, host=args.host, port=args.port)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"dashboard for {args.store} at {server.url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-drive a stored time range on the console at adjustable speed."""
+    import json
+    import time as _time
+
+    from repro.net.addresses import format_address
+    from repro.obs.store import EventStore
+
+    try:
+        store = EventStore(args.store, mode="r")
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tmin, tmax = store.time_range()
+    t0 = args.start if args.start is not None else tmin
+    t1 = args.end if args.end is not None else tmax + 1.0
+    kinds = set(args.kind) if args.kind else None
+    print(
+        f"replaying {args.store}: t in [{t0:.0f}, {t1:.0f}) s "
+        f"at {args.speed:g}x" + (f", kinds {sorted(kinds)}" if kinds else "")
+    )
+    shown = 0
+    cursor = 0
+    prev_t = None
+    try:
+        while True:
+            batch = store.events(after_id=cursor, t0=t0, t1=t1, limit=1000)
+            if not batch:
+                break
+            for event in batch:
+                cursor = event.id
+                if kinds is not None and event.kind not in kinds:
+                    continue
+                if args.speed > 0 and prev_t is not None and event.t > prev_t:
+                    _time.sleep(min((event.t - prev_t) / args.speed, 5.0))
+                prev_t = event.t
+                print(
+                    f"{event.t:10.3f}s  {event.kind:<9} "
+                    f"{_format_event(event, format_address)}"
+                )
+                shown += 1
+                if args.limit is not None and shown >= args.limit:
+                    break
+            if args.limit is not None and shown >= args.limit:
+                break
+        print(f"\n{shown} events replayed")
+        if args.summary:
+            print(json.dumps(store.health_summary(t1), indent=2, sort_keys=True))
+    except BrokenPipeError:
+        # Reader (head, a pager) went away mid-stream: exit quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    store.close()
+    return 0
+
+
+def _format_event(event, format_address) -> str:
+    """One console line per stored event kind."""
+    data = event.data
+    node = format_address(event.node) if event.node is not None else "-"
+    if event.kind == "route":
+        return (
+            f"{node} {data['event']:<8} dst={format_address(data['dst'])} "
+            f"via={format_address(data['via'])} metric={data['metric']}"
+        )
+    if event.kind == "frame":
+        from repro.obs.store import frame_view
+
+        view = frame_view(data, t=event.t, node=event.node)
+        return f"{node} {view['kind']:<14} {view['size']:3d}B  {view['summary']}"
+    if event.kind == "forward":
+        next_hop = data.get("next_hop")
+        return (
+            f"{node} {data['action']:<8} {format_address(data['src'])}->"
+            f"{format_address(data['dst'])}"
+            + (f" via {format_address(next_hop)}" if next_hop is not None else "")
+        )
+    if event.kind == "delivery":
+        return f"{node} delivered {data['bytes']}B from {format_address(data['src'])}"
+    if event.kind == "violation":
+        return f"{node} VIOLATION {data['invariant']}: {data['detail']}"
+    if event.kind == "sample":
+        return f"registry sample ({len(data.get('values', {}))} series)"
+    if event.kind == "marker":
+        return f"-- {data.get('phase', '?')} --"
+    return str(data)
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     """Connectivity check for a placement before deploying it."""
     positions = _make_positions(args.topology, args.nodes, args.spacing)
@@ -464,7 +609,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH", default=None,
         help="record protocol trace events and write them to PATH as JSON lines",
     )
+    simulate.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="stream every frame, route event, delivery and health sample "
+        "into a SQLite event store at PATH (serve it with `repro serve`)",
+    )
     simulate.set_defaults(func=cmd_simulate)
+
+    serve = sub.add_parser(
+        "serve", help="serve the web dashboard over an event store"
+    )
+    serve.add_argument(
+        "--store", metavar="PATH", required=True,
+        help="event store written by `repro simulate --store` (may still be "
+        "growing: the dashboard tails it live)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8437, help="TCP port (0 = any free)")
+    serve.set_defaults(func=cmd_serve)
+
+    replay = sub.add_parser(
+        "replay", help="re-drive a stored time range on the console"
+    )
+    replay.add_argument(
+        "--store", metavar="PATH", required=True,
+        help="event store written by `repro simulate --store`",
+    )
+    replay.add_argument(
+        "--start", type=float, default=None, metavar="T",
+        help="start of the replayed range (simulated s; default: store start)",
+    )
+    replay.add_argument(
+        "--end", type=float, default=None, metavar="T",
+        help="end of the replayed range (simulated s; default: store end)",
+    )
+    replay.add_argument(
+        "--speed", type=float, default=0.0,
+        help="pacing factor: 1 = real time, 10 = 10x, 0 = instant (default)",
+    )
+    replay.add_argument(
+        "--kind", action="append", default=None,
+        choices=("frame", "route", "forward", "delivery", "violation", "sample", "trace", "marker"),
+        help="only replay these event kinds (repeatable; default: all)",
+    )
+    replay.add_argument(
+        "--limit", type=int, default=None, help="stop after N printed events"
+    )
+    replay.add_argument(
+        "--summary", action="store_true",
+        help="print the end-of-range health summary as JSON",
+    )
+    replay.set_defaults(func=cmd_replay)
 
     sweep = sub.add_parser(
         "sweep", help="sweep network sizes over repeated seeds, optionally in parallel"

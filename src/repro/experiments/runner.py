@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines.aodv import AodvNetwork
 from repro.baselines.flooding import FloodingNetwork
@@ -26,6 +27,7 @@ from repro.net.config import MesherConfig
 from repro.obs.instrument import instrument_flows, instrument_network
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.store import EventStore, StoreRecorder
 from repro.phy.modulation import LoRaParams
 from repro.phy.pathloss import PathLossModel, Position
 from repro.sim.rng import RngRegistry
@@ -78,6 +80,10 @@ class RunResult:
     #: Populated when ``run_protocol(..., verify=True)`` was given: the
     #: invariant checker that audited the run (violations, observations).
     checker: Optional[InvariantChecker] = None
+    #: Populated when ``run_protocol(..., store=...)`` was given: the
+    #: path of the WAL-mode event store the run streamed into (serve it
+    #: with ``repro serve`` or replay it with ``repro replay``).
+    store_path: Optional[Path] = None
 
     @property
     def pdr(self) -> float:
@@ -115,6 +121,8 @@ def run_protocol(
     verify_strict: Optional[bool] = None,
     verify_audit_period_s: float = 30.0,
     fault_plan: Optional[FaultPlan] = None,
+    store: Optional[Union[str, Path]] = None,
+    store_frames: bool = True,
 ) -> RunResult:
     """Run one scenario and measure it.
 
@@ -138,12 +146,39 @@ def run_protocol(
     environment default.  ``fault_plan`` (MESH only) arms a
     deterministic :class:`~repro.verify.faults.FaultPlan` (crashes,
     blackouts, burst loss) before the scenario starts.
+
+    ``store`` streams the run into a WAL-mode
+    :class:`~repro.obs.store.EventStore` at that path: frames (unless
+    ``store_frames=False``), route events, forwarding decisions,
+    deliveries, invariant violations, and registry samples, queryable
+    live by ``repro serve`` while the run executes.  Recording rides
+    observer taps only, so the run's outcome is identical with the
+    store on or off.  When ``sample_period_s`` is not given, a store
+    run samples every 60 simulated seconds so dashboards get health
+    trajectories.
     """
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
     if (verify or fault_plan is not None) and protocol is not Protocol.MESH:
         raise ValueError("verify/fault_plan require Protocol.MESH")
+    if store is not None and sample_period_s is None:
+        sample_period_s = 60.0
     recorder = FlowRecorder()
+    event_store: Optional[EventStore] = None
+    store_recorder: Optional[StoreRecorder] = None
+
+    def _attach_store(net, sampler, checker=None) -> None:
+        nonlocal event_store, store_recorder
+        if store is None:
+            return
+        event_store = EventStore(store, mode="w")
+        event_store.set_meta("protocol", protocol.value)
+        event_store.set_meta("seed", seed)
+        event_store.set_meta("n_nodes", len(positions))
+        event_store.set_meta("duration_s", duration_s)
+        store_recorder = StoreRecorder(
+            event_store, net, sampler=sampler, checker=checker, frames=store_frames
+        ).attach()
 
     def _attach_sampler(net) -> Optional[TimeSeriesSampler]:
         if sample_period_s is None:
@@ -169,9 +204,12 @@ def run_protocol(
             ).attach()
         if fault_plan is not None:
             FaultInjector(net, fault_plan, seed=seed).arm()
+        _attach_store(net, sampler, checker)
         convergence = None
         if protocol is Protocol.MESH and converge_first:
             convergence = net.run_until_converged(timeout_s=converge_timeout_s)
+            if store_recorder is not None and convergence is not None:
+                store_recorder.mark("converged", convergence_s=convergence)
         senders = _attach_mesh_traffic(net, traffic, recorder, seed)
         net.run(for_s=duration_s)
         for sender in senders:
@@ -182,6 +220,7 @@ def run_protocol(
     elif protocol is Protocol.FLOODING:
         net = FloodingNetwork(positions, seed=seed, params=params, pathloss=pathloss)
         sampler = _attach_sampler(net)
+        _attach_store(net, sampler)
         convergence = 0.0
         senders = _attach_flood_traffic(net, traffic, recorder, seed)
         net.run(for_s=duration_s)
@@ -193,6 +232,7 @@ def run_protocol(
     elif protocol is Protocol.AODV:
         net = AodvNetwork(positions, seed=seed, params=params, pathloss=pathloss)
         sampler = _attach_sampler(net)
+        _attach_store(net, sampler)
         convergence = 0.0  # reactive: no proactive convergence phase
         senders = _attach_flood_traffic(net, traffic, recorder, seed)  # same send() shape
         net.run(for_s=duration_s)
@@ -219,6 +259,7 @@ def run_protocol(
             positions, seed=seed, params=params, pathloss=pathloss, gateway_index=gateway_index
         )
         sampler = _attach_sampler(net)
+        _attach_store(net, sampler)
         convergence = 0.0
         senders = _attach_star_traffic(net, traffic, recorder, seed)
         net.run(for_s=duration_s)
@@ -235,6 +276,10 @@ def run_protocol(
         sampler.sample_now()  # end-of-run point after the drain tail
     if checker is not None:
         checker.audit()  # final sweep over the drained end state
+    if store_recorder is not None:
+        store_recorder.detach()
+    if event_store is not None:
+        event_store.close()
 
     return RunResult(
         protocol=protocol,
@@ -245,6 +290,7 @@ def run_protocol(
         overhead=overhead_summary(nodes, recorder, now=sim_now),
         sampler=sampler,
         checker=checker,
+        store_path=Path(store) if store is not None else None,
     )
 
 

@@ -257,9 +257,17 @@ class Medium:
         self._listener_snapshot: Optional[Tuple[MediumListener, ...]] = None
         #: Optional sniffer hook: called once per completed transmission
         #: with the per-listener outcomes (see repro.trace.capture).
+        #: Attaching it disables the aggregate accounting fast path —
+        #: per-listener outcomes require the full resolution loop.
         self.on_transmission: Optional[
             Callable[[Transmission, Dict[int, DropReason]], None]
         ] = None
+        #: Optional *lightweight* sniffer: called once per completed
+        #: transmission with the transmission only (no outcomes), from
+        #: both the aggregate and the per-listener completion paths, so
+        #: attaching it keeps the fast path.  The event store's default
+        #: frame stream uses this.
+        self.on_frame: Optional[Callable[[Transmission], None]] = None
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -478,6 +486,8 @@ class Medium:
         self._active.pop(tx.tx_id, None)
         self._recent.append(tx)
         self._prune_recent(tx.start)
+        if self.on_frame is not None:
+            self.on_frame(tx)
         if self._rx_entries:
             self._prune_rx_entries(tx.start)
         entry = self._reachable_entry(tx) if self.use_reachability else None

@@ -14,6 +14,7 @@ than by reaching into node attributes directly.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -130,6 +131,65 @@ def health_from_registry(
         coverage=registry.value("repro_network_coverage"),
         total_frames=int(registry.value("repro_network_frames_total")),
         total_airtime_s=registry.value("repro_network_airtime_seconds_total"),
+        worst_duty=max((n.duty_utilisation for n in nodes), default=0.0),
+    )
+
+
+#: Parses the sampler's flat ``name{k="v",...}`` keys back into a name
+#: plus labels — the inverse of :attr:`MetricSample.key`.
+_FLAT_KEY_RE = re.compile(r'^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$')
+_LABEL_PAIR_RE = re.compile(r'(\w+)="([^"]*)"')
+
+
+def health_from_flat_values(
+    values: Dict[str, float], *, time_s: float
+) -> NetworkHealth:
+    """Build a :class:`NetworkHealth` from one flattened sample point.
+
+    ``values`` is a :class:`~repro.obs.sampler.SamplePoint` ``values``
+    dict (flat ``name{node="..."}`` keys) — what the time-series sampler
+    and the event store persist.  This is how dashboards reconstruct
+    per-node health cards from stored samples without a live network.
+    """
+    by_node: Dict[str, Dict[str, float]] = {}
+    flat: Dict[str, float] = {}
+    for key, value in values.items():
+        match = _FLAT_KEY_RE.match(key)
+        if match is None:
+            continue
+        name = match.group("name")
+        labels = dict(_LABEL_PAIR_RE.findall(match.group("labels") or ""))
+        node = labels.get("node")
+        if node is not None:
+            by_node.setdefault(node, {})[name] = value
+        elif not labels:
+            flat[name] = value
+    nodes = []
+    for name in sorted(by_node):
+        v = by_node[name]
+        nodes.append(
+            NodeHealth(
+                name=name,
+                routes=int(v.get("repro_node_routes", 0)),
+                neighbours=int(v.get("repro_node_neighbours", 0)),
+                frames_sent=int(v.get("repro_node_frames_sent_total", 0)),
+                forwarded=int(v.get("repro_node_data_forwarded_total", 0)),
+                delivered=int(v.get("repro_node_data_delivered_total", 0)),
+                no_route_drops=int(v.get("repro_node_no_route_drops_total", 0)),
+                crc_failures=int(v.get("repro_node_crc_failures_total", 0)),
+                queue_depth=int(v.get("repro_node_queue_depth", 0)),
+                queue_drops=int(v.get("repro_node_queue_drops_total", 0)),
+                duty_utilisation=v.get("repro_node_duty_utilisation", 0.0),
+                tx_airtime_s=v.get("repro_node_tx_airtime_seconds_total", 0.0),
+                energy_j=v.get("repro_node_energy_joules_total", 0.0),
+            )
+        )
+    return NetworkHealth(
+        time_s=time_s,
+        nodes=nodes,
+        coverage=flat.get("repro_network_coverage", 0.0),
+        total_frames=int(flat.get("repro_network_frames_total", 0)),
+        total_airtime_s=flat.get("repro_network_airtime_seconds_total", 0.0),
         worst_duty=max((n.duty_utilisation for n in nodes), default=0.0),
     )
 

@@ -11,7 +11,12 @@ reproduction's equivalent of a proper telemetry stack:
   registry every N simulated seconds into an exportable time series,
 * :mod:`repro.obs.profiler` — wall-clock attribution per event handler
   (the baseline every performance PR cites),
-* :mod:`repro.obs.export` — Prometheus text and JSONL exposition.
+* :mod:`repro.obs.export` — Prometheus text and JSONL exposition,
+* :mod:`repro.obs.store` — WAL-mode SQLite event store every run can
+  stream into (frames, route events, deliveries, violations, samples),
+* :mod:`repro.obs.dashboard` — stdlib HTTP + SSE dashboard serving a
+  live topology map, health cards, and replayable event feeds from a
+  store, during or after the run.
 
 Quickstart::
 
@@ -24,6 +29,7 @@ Quickstart::
     sampler.export_csv("health.csv")
 """
 
+from repro.obs.dashboard import DashboardServer
 from repro.obs.export import (
     export_jsonl,
     export_prometheus,
@@ -43,7 +49,13 @@ from repro.obs.registry import (
     MetricSample,
     MetricsRegistry,
 )
-from repro.obs.sampler import SamplePoint, TimeSeriesSampler
+from repro.obs.sampler import (
+    SamplePoint,
+    TimeSeriesSampler,
+    load_timeseries_csv,
+    load_timeseries_jsonl,
+)
+from repro.obs.store import EventStore, StoredEvent, StoreRecorder
 
 __all__ = [
     "Counter",
@@ -56,6 +68,12 @@ __all__ = [
     "AIRTIME_BUCKETS_S",
     "SamplePoint",
     "TimeSeriesSampler",
+    "load_timeseries_jsonl",
+    "load_timeseries_csv",
+    "EventStore",
+    "StoredEvent",
+    "StoreRecorder",
+    "DashboardServer",
     "KernelProfiler",
     "HotSpot",
     "instrument_network",

@@ -1,0 +1,511 @@
+"""Streaming web dashboard over an :class:`~repro.obs.store.EventStore`.
+
+The paper's demo is watched on a serial console; this is the
+reproduction's equivalent at service scale: a stdlib-only HTTP server
+(``http.server`` + server-sent events, no third-party dependencies)
+that renders a live topology map, per-node health cards, and the
+route-event / invariant-violation feeds straight from a WAL-mode store
+— while the simulation is still writing it, or afterwards.
+
+Endpoints
+---------
+
+``GET /``                    the single-page dashboard (embedded HTML/JS)
+``GET /api/meta``            run metadata + event counts + time range
+``GET /api/nodes``           registered nodes with positions
+``GET /api/topology?t=``     nodes plus direct links at simulated time t
+``GET /api/health?t=``       per-node health cards from the last sample
+``GET /api/events?...``      indexed event query (kind/node/t0/t1/after/limit)
+``GET /api/summary``         the deterministic whole-run summary
+``GET /stream?after=``       SSE live feed (polls the store's WAL tail)
+``GET /stream?mode=replay&t0=&t1=&speed=``
+                             SSE replay: re-drives a stored time range at
+                             ``speed``× sim time (0 = as fast as possible)
+
+Because readers open the store read-only, any number of dashboard
+clients can attach to one live store — the load-test scenario the
+roadmap asks for.  Every request handler opens its own connection, so
+the threaded server needs no connection sharing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.store import EventStore, StoredEvent, frame_view
+
+__all__ = ["DashboardServer"]
+
+#: Wall-clock seconds between WAL-tail polls on the live SSE feed.
+DEFAULT_POLL_INTERVAL_S = 0.5
+
+#: Events fetched per poll/replay chunk (bounds handler memory).
+FEED_CHUNK = 1000
+
+#: Longest wall-clock pause the replay pacer will take between events.
+MAX_REPLAY_PAUSE_S = 5.0
+
+
+def _event_json(event: StoredEvent) -> Dict[str, Any]:
+    # Frames are stored raw (payload hex, no decode) for write-side
+    # speed; the read side derives the kind/summary the UI shows.
+    data = (
+        frame_view(event.data, t=event.t, node=event.node)
+        if event.kind == "frame"
+        else event.data
+    )
+    return {
+        "id": event.id,
+        "t": event.t,
+        "wall": event.wall,
+        "kind": event.kind,
+        "node": event.node,
+        "data": data,
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; opens its own read-only store connection."""
+
+    server_version = "repro-dashboard/1.0"
+    store_path: Path  # set by the concrete subclass DashboardServer builds
+    poll_interval_s: float = DEFAULT_POLL_INTERVAL_S
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+        try:
+            if parsed.path in ("/", "/index.html"):
+                self._send_html(_INDEX_HTML)
+            elif parsed.path == "/stream":
+                self._stream(query)
+            elif parsed.path.startswith("/api/"):
+                self._api(parsed.path, query)
+            else:
+                self.send_error(404, "unknown path")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to clean up
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        pass  # keep test/CLI output clean; errors still surface via send_error
+
+    # ------------------------------------------------------------------
+    def _open(self) -> EventStore:
+        return EventStore(self.store_path, mode="r")
+
+    def _api(self, path: str, query: Dict[str, str]) -> None:
+        store = self._open()
+        try:
+            t = float(query["t"]) if "t" in query else None
+            if path == "/api/meta":
+                tmin, tmax = store.time_range()
+                payload: Any = {
+                    "meta": store.meta(),
+                    "counts": store.counts_by_kind(),
+                    "time_range": [tmin, tmax],
+                    "last_id": store.last_id(),
+                    "node_count": len(store.nodes()),
+                }
+            elif path == "/api/nodes":
+                payload = store.nodes()
+            elif path == "/api/topology":
+                payload = store.topology_at(t)
+            elif path == "/api/health":
+                payload = store.health_summary(t)
+            elif path == "/api/events":
+                payload = [
+                    _event_json(e)
+                    for e in store.events(
+                        kind=query.get("kind"),
+                        node=int(query["node"]) if "node" in query else None,
+                        t0=float(query["t0"]) if "t0" in query else None,
+                        t1=float(query["t1"]) if "t1" in query else None,
+                        after_id=int(query["after"]) if "after" in query else None,
+                        limit=min(int(query.get("limit", FEED_CHUNK)), 10000),
+                    )
+                ]
+            elif path == "/api/summary":
+                tmin, tmax = store.time_range()
+                payload = {
+                    "meta": store.meta(),
+                    "counts": store.counts_by_kind(),
+                    "time_range": [tmin, tmax],
+                    "health": store.health_summary(),
+                }
+            else:
+                self.send_error(404, "unknown API path")
+                return
+            self._send_json(payload)
+        finally:
+            store.close()
+
+    # ------------------------------------------------------------------
+    # Server-sent events
+    # ------------------------------------------------------------------
+    def _stream(self, query: Dict[str, str]) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        store = self._open()
+        try:
+            if query.get("mode") == "replay":
+                self._stream_replay(store, query)
+            else:
+                self._stream_live(store, query)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        finally:
+            store.close()
+
+    def _emit(self, event: StoredEvent) -> None:
+        self.wfile.write(
+            (
+                f"event: {event.kind}\n"
+                f"id: {event.id}\n"
+                f"data: {json.dumps(_event_json(event), sort_keys=True)}\n\n"
+            ).encode()
+        )
+        self.wfile.flush()
+
+    def _emit_control(self, name: str, payload: Dict[str, Any]) -> None:
+        self.wfile.write(
+            f"event: {name}\ndata: {json.dumps(payload, sort_keys=True)}\n\n".encode()
+        )
+        self.wfile.flush()
+
+    def _stream_live(self, store: EventStore, query: Dict[str, str]) -> None:
+        """Tail the store: poll the WAL for rows past the cursor.
+
+        Ends (with an ``end`` control event) once the writer has marked
+        the run finished *and* the feed is fully drained; until then the
+        poll loop idles on heartbeats so a dashboard can attach before
+        the simulation even starts producing events.
+        """
+        cursor = int(query.get("after", 0))
+        kind = query.get("kind")
+        while True:
+            batch = store.events(after_id=cursor, kind=kind, limit=FEED_CHUNK)
+            for event in batch:
+                self._emit(event)
+                cursor = event.id
+            if len(batch) < FEED_CHUNK:
+                if store.meta().get("finished"):
+                    self._emit_control("end", {"last_id": cursor})
+                    return
+                self.wfile.write(b": ping\n\n")
+                self.wfile.flush()
+                time.sleep(self.poll_interval_s)
+
+    def _stream_replay(self, store: EventStore, query: Dict[str, str]) -> None:
+        """Re-drive a stored time range at ``speed``× simulated time.
+
+        ``speed=10`` plays 10 simulated seconds per wall second;
+        ``speed=0`` streams the range with no pacing at all.  Pauses are
+        capped so long idle gaps (hello periods at SF12) don't stall the
+        feed for minutes.
+        """
+        tmin, tmax = store.time_range()
+        t0 = float(query.get("t0", tmin))
+        t1 = float(query.get("t1", tmax + 1.0))
+        speed = float(query.get("speed", 0.0))
+        kind = query.get("kind")
+        self._emit_control("replay-start", {"t0": t0, "t1": t1, "speed": speed})
+        cursor = 0
+        prev_t: Optional[float] = None
+        while True:
+            batch = store.events(
+                after_id=cursor, kind=kind, t0=t0, t1=t1, limit=FEED_CHUNK
+            )
+            if not batch:
+                break
+            for event in batch:
+                if speed > 0 and prev_t is not None and event.t > prev_t:
+                    time.sleep(min((event.t - prev_t) / speed, MAX_REPLAY_PAUSE_S))
+                prev_t = event.t
+                self._emit(event)
+                cursor = event.id
+        self._emit_control("end", {"t0": t0, "t1": t1})
+
+    # ------------------------------------------------------------------
+    def _send_json(self, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_html(self, html: str) -> None:
+        body = html.encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class DashboardServer:
+    """Serves one event store; safe to attach while a run is writing it.
+
+    ``port=0`` picks a free port (what the tests and the CI smoke job
+    use); :attr:`url` reports the bound address.  :meth:`start` runs the
+    server on a daemon thread, :meth:`serve_forever` blocks (the CLI
+    path), :meth:`stop` shuts either down.
+    """
+
+    def __init__(
+        self,
+        store_path: Union[str, Path],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8437,
+        poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+    ) -> None:
+        path = Path(store_path)
+        if not path.exists():
+            raise FileNotFoundError(f"no event store at {path}")
+        handler = type(
+            "BoundDashboardHandler",
+            (_Handler,),
+            {"store_path": path, "poll_interval_s": poll_interval_s},
+        )
+        self.store_path = path
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/"
+
+    def start(self) -> "DashboardServer":
+        """Serve on a background daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever, daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` (CLI path)."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Shut the server down and release the socket."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+# ----------------------------------------------------------------------
+# The single-page dashboard
+# ----------------------------------------------------------------------
+_INDEX_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro mesh dashboard</title>
+<style>
+  :root { --bg:#10141a; --panel:#1a212b; --ink:#d7dee8; --dim:#7b8794;
+          --accent:#4fb3ff; --ok:#58c28b; --warn:#e0b24f; --bad:#e06c60; }
+  * { box-sizing:border-box; }
+  body { margin:0; font:14px/1.45 system-ui,sans-serif; background:var(--bg); color:var(--ink); }
+  header { display:flex; align-items:baseline; gap:1em; padding:.7em 1em; background:var(--panel); }
+  header h1 { font-size:1.05em; margin:0; }
+  header .meta { color:var(--dim); font-size:.85em; }
+  #controls { margin-left:auto; display:flex; gap:.5em; align-items:center; font-size:.85em; }
+  #controls input { width:5.5em; background:var(--bg); color:var(--ink);
+                    border:1px solid #2c3642; border-radius:4px; padding:.2em .4em; }
+  button { background:var(--accent); color:#06121d; border:0; border-radius:4px;
+           padding:.3em .8em; cursor:pointer; font-weight:600; }
+  button.secondary { background:#2c3642; color:var(--ink); }
+  main { display:grid; grid-template-columns:minmax(340px,1.1fr) 1.4fr;
+         grid-template-rows:minmax(300px,auto) minmax(200px,auto); gap:.8em; padding:.8em; }
+  section { background:var(--panel); border-radius:8px; padding:.7em .9em; overflow:auto; }
+  section h2 { margin:.1em 0 .5em; font-size:.8em; text-transform:uppercase;
+               letter-spacing:.08em; color:var(--dim); }
+  #map svg { width:100%; height:calc(100% - 2em); min-height:260px; }
+  .link { stroke:#31536b; stroke-width:1.5; }
+  .node circle { fill:var(--accent); }
+  .node text { fill:var(--ink); font-size:10px; text-anchor:middle; }
+  #cards { display:grid; grid-template-columns:repeat(auto-fill,minmax(150px,1fr)); gap:.5em; }
+  .card { background:var(--bg); border-radius:6px; padding:.5em .6em; font-size:.82em; }
+  .card b { display:block; color:var(--accent); margin-bottom:.2em; }
+  .card .row { display:flex; justify-content:space-between; color:var(--dim); }
+  .card .row span:last-child { color:var(--ink); }
+  .duty { height:4px; background:#2c3642; border-radius:2px; margin-top:.35em; }
+  .duty i { display:block; height:100%; border-radius:2px; background:var(--ok); }
+  .feed { font:12px/1.5 ui-monospace,monospace; white-space:pre-wrap; }
+  .feed .v { color:var(--bad); }
+  .feed .r { color:var(--ok); }
+  .feed .f { color:var(--warn); }
+  #status { font-size:.8em; color:var(--dim); }
+  #status.live::before { content:"●"; color:var(--ok); margin-right:.35em; }
+  #status.replay::before { content:"▶"; color:var(--warn); margin-right:.35em; }
+  #status.done::before { content:"■"; color:var(--dim); margin-right:.35em; }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro mesh dashboard</h1>
+  <span class="meta" id="runmeta">loading…</span>
+  <span id="status" class="live">connecting</span>
+  <div id="controls">
+    <label>t0 <input id="rt0" placeholder="start"></label>
+    <label>t1 <input id="rt1" placeholder="end"></label>
+    <label>speed× <input id="rspeed" value="60"></label>
+    <button id="replayBtn">Replay</button>
+    <button id="liveBtn" class="secondary">Live</button>
+  </div>
+</header>
+<main>
+  <section id="map"><h2>Topology</h2><svg viewBox="0 0 100 100" preserveAspectRatio="xMidYMid meet"></svg></section>
+  <section><h2>Per-node health <span id="healthT" class="meta"></span></h2><div id="cards"></div></section>
+  <section><h2>Route events</h2><div id="routes" class="feed"></div></section>
+  <section><h2>Violations &amp; forwarding</h2><div id="alerts" class="feed"></div></section>
+</main>
+<script>
+"use strict";
+const $ = (s) => document.querySelector(s);
+const hex = (a) => a == null ? "?" : "0x" + a.toString(16).padStart(4, "0").toUpperCase();
+let source = null, lastId = 0, topoDirty = false;
+
+async function fetchJSON(url) { const r = await fetch(url); if (!r.ok) throw new Error(url); return r.json(); }
+
+async function refreshMeta() {
+  const m = await fetchJSON("/api/meta");
+  const meta = m.meta || {};
+  $("#runmeta").textContent =
+    `${m.node_count} nodes · ${Object.values(m.counts).reduce((a,b)=>a+b,0)} events · ` +
+    `t ∈ [${m.time_range[0].toFixed(0)}, ${m.time_range[1].toFixed(0)}] s` +
+    (meta.protocol ? ` · ${meta.protocol}` : "");
+  if (!$("#rt0").value) $("#rt0").value = m.time_range[0].toFixed(0);
+  if (!$("#rt1").value) $("#rt1").value = m.time_range[1].toFixed(0);
+  return m;
+}
+
+async function drawTopology(t) {
+  const topo = await fetchJSON("/api/topology" + (t != null ? "?t=" + t : ""));
+  const svg = $("#map svg");
+  if (!topo.nodes.length) { svg.innerHTML = ""; return; }
+  const xs = topo.nodes.map(n => n.x), ys = topo.nodes.map(n => n.y);
+  const pad = 8, minx = Math.min(...xs), maxx = Math.max(...xs);
+  const miny = Math.min(...ys), maxy = Math.max(...ys);
+  const sx = (x) => pad + (maxx > minx ? (x - minx) / (maxx - minx) : .5) * (100 - 2 * pad);
+  const sy = (y) => pad + (maxy > miny ? (y - miny) / (maxy - miny) : .5) * (100 - 2 * pad);
+  const pos = {};
+  topo.nodes.forEach(n => pos[n.address] = [sx(n.x), sy(n.y)]);
+  let parts = [];
+  for (const [a, b] of topo.links) {
+    if (pos[a] && pos[b])
+      parts.push(`<line class="link" x1="${pos[a][0]}" y1="${pos[a][1]}" x2="${pos[b][0]}" y2="${pos[b][1]}"/>`);
+  }
+  for (const n of topo.nodes) {
+    const [x, y] = pos[n.address];
+    parts.push(`<g class="node"><circle cx="${x}" cy="${y}" r="2.6"/>` +
+               `<text x="${x}" y="${y - 4}">${n.name}</text></g>`);
+  }
+  svg.innerHTML = parts.join("");
+}
+
+async function drawHealth(t) {
+  const h = await fetchJSON("/api/health" + (t != null ? "?t=" + t : ""));
+  if (h.t == null) return;
+  $("#healthT").textContent =
+    ` @ t=${h.t.toFixed(0)} s · coverage ${(h.coverage * 100).toFixed(1)}% · ${h.total_frames} frames`;
+  $("#cards").innerHTML = h.nodes.map(n => {
+    const duty = Math.min(n.duty_utilisation * 100, 100);
+    const col = duty > 80 ? "var(--bad)" : duty > 50 ? "var(--warn)" : "var(--ok)";
+    return `<div class="card"><b>${n.name}</b>
+      <div class="row"><span>routes</span><span>${n.routes}</span></div>
+      <div class="row"><span>nbrs</span><span>${n.neighbours}</span></div>
+      <div class="row"><span>sent</span><span>${n.frames_sent}</span></div>
+      <div class="row"><span>fwd</span><span>${n.forwarded}</span></div>
+      <div class="row"><span>dlvd</span><span>${n.delivered}</span></div>
+      <div class="row"><span>queue</span><span>${n.queue_depth}</span></div>
+      <div class="row"><span>duty</span><span>${(n.duty_utilisation * 100).toFixed(2)}%</span></div>
+      <div class="duty"><i style="width:${duty}%;background:${col}"></i></div></div>`;
+  }).join("");
+}
+
+function feedLine(el, cls, text) {
+  const div = document.createElement("div");
+  div.className = cls;
+  div.textContent = text;
+  el.prepend(div);
+  while (el.childElementCount > 80) el.removeChild(el.lastChild);
+}
+
+function onEvent(e) {
+  const ev = JSON.parse(e.data);
+  lastId = Math.max(lastId, ev.id || 0);
+  const t = ev.t.toFixed(1).padStart(8);
+  if (ev.kind === "route") {
+    feedLine($("#routes"), "r",
+      `${t}s ${hex(ev.node)} ${ev.data.event} → ${hex(ev.data.dst)} via ${hex(ev.data.via)} metric=${ev.data.metric}`);
+    topoDirty = true;
+  } else if (ev.kind === "violation") {
+    feedLine($("#alerts"), "v", `${t}s ${hex(ev.node)} VIOLATION ${ev.data.invariant}: ${ev.data.detail}`);
+  } else if (ev.kind === "forward") {
+    feedLine($("#alerts"), "f",
+      `${t}s ${hex(ev.node)} ${ev.data.action} ${hex(ev.data.src)}→${hex(ev.data.dst)}` +
+      (ev.data.next_hop != null ? ` via ${hex(ev.data.next_hop)}` : ""));
+  } else if (ev.kind === "sample") {
+    drawHealth(ev.t).catch(() => {});
+  } else if (ev.kind === "marker") {
+    feedLine($("#alerts"), "", `${t}s — ${ev.data.phase}`);
+  }
+}
+
+function connect(url, label) {
+  if (source) source.close();
+  $("#status").className = label;
+  $("#status").textContent = label;
+  source = new EventSource(url);
+  for (const kind of ["frame", "route", "forward", "delivery", "violation", "sample", "trace", "marker"])
+    source.addEventListener(kind, onEvent);
+  source.addEventListener("end", () => {
+    $("#status").className = "done";
+    $("#status").textContent = "feed complete";
+    source.close();
+    drawTopology().catch(() => {});
+    drawHealth().catch(() => {});
+  });
+  source.onerror = () => { $("#status").textContent = label + " (reconnecting)"; };
+}
+
+$("#replayBtn").onclick = () => {
+  const t0 = $("#rt0").value, t1 = $("#rt1").value, speed = $("#rspeed").value || "0";
+  connect(`/stream?mode=replay&t0=${t0}&t1=${t1}&speed=${speed}`, "replay");
+};
+$("#liveBtn").onclick = () => connect(`/stream?after=${lastId}`, "live");
+
+setInterval(() => { if (topoDirty) { topoDirty = false; drawTopology().catch(() => {}); } }, 1500);
+setInterval(() => refreshMeta().catch(() => {}), 5000);
+
+refreshMeta().then(() => { drawTopology(); drawHealth(); connect("/stream?after=0", "live"); })
+  .catch(err => { $("#runmeta").textContent = "failed to load store: " + err; });
+</script>
+</body>
+</html>
+"""

@@ -22,15 +22,55 @@ from repro.obs.registry import MetricSample
 
 
 def _format_value(value: float) -> str:
+    """Prometheus text spelling of one sample value.
+
+    Non-finite values use the exposition format's canonical spellings
+    (``NaN``, ``+Inf``, ``-Inf``) — scrapers reject Python's ``nan`` /
+    ``inf`` reprs.  The NaN check (``value != value``) must run first:
+    every other comparison against NaN is False and would fall through
+    to ``is_integer()``, which NaN does not support cleanly.
+    """
+    value = float(value)
     if value != value:
         return "NaN"
     if value == float("inf"):
         return "+Inf"
     if value == float("-inf"):
         return "-Inf"
-    if float(value).is_integer():
+    if value.is_integer():
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
+
+
+def _json_value(value: float) -> object:
+    """A strictly-JSON-safe rendering of one float.
+
+    ``json.dumps`` spells non-finite floats as ``NaN``/``Infinity`` —
+    tokens outside the JSON grammar that non-Python consumers reject.
+    Non-finite values are emitted as the Prometheus string spellings
+    instead; :func:`_parse_value` restores them losslessly.
+    """
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return value
+
+
+def _parse_value(raw: object) -> float:
+    """Inverse of :func:`_json_value` (numbers pass straight through)."""
+    if isinstance(raw, str):
+        spelling = raw.strip()
+        if spelling == "NaN":
+            return float("nan")
+        if spelling in ("+Inf", "Inf", "Infinity"):
+            return float("inf")
+        if spelling in ("-Inf", "-Infinity"):
+            return float("-inf")
+    return float(raw)  # type: ignore[arg-type]
 
 
 def _series(name: str, labels: Iterable, value: float) -> str:
@@ -70,14 +110,16 @@ def to_jsonl(samples: Sequence[MetricSample]) -> str:
             "name": sample.name,
             "kind": sample.kind,
             "labels": {k: v for k, v in sample.labels},
-            "value": sample.value,
+            "value": _json_value(sample.value),
         }
         if sample.help:
             record["help"] = sample.help
         if sample.kind == "histogram":
-            record["sum"] = sample.sum
-            record["buckets"] = [[bound, count] for bound, count in sample.buckets]
-        lines.append(json.dumps(record, sort_keys=True))
+            record["sum"] = _json_value(sample.sum)
+            record["buckets"] = [
+                [_json_value(bound), count] for bound, count in sample.buckets
+            ]
+        lines.append(json.dumps(record, sort_keys=True, allow_nan=False))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -94,9 +136,11 @@ def from_jsonl(text: str) -> List[MetricSample]:
                 name=record["name"],
                 kind=record["kind"],
                 labels=tuple(sorted((k, v) for k, v in record.get("labels", {}).items())),
-                value=float(record["value"]),
-                sum=float(record.get("sum", 0.0)),
-                buckets=tuple((float(b), int(c)) for b, c in record.get("buckets", [])),
+                value=_parse_value(record["value"]),
+                sum=_parse_value(record.get("sum", 0.0)),
+                buckets=tuple(
+                    (_parse_value(b), int(c)) for b, c in record.get("buckets", [])
+                ),
                 help=record.get("help", ""),
             )
         )

@@ -164,6 +164,16 @@ def instrument_network(
         fn=lambda s=sim: s.pending,
         help="Events still queued in the kernel",
     )
+    trace = getattr(net, "trace", None)
+    if trace is not None and hasattr(trace, "events_dropped"):
+        # Ring overflow in long traced runs used to be visible only in
+        # the recorder's repr; exporting it makes silent event loss show
+        # up in `repro monitor` and every Prometheus/JSONL export.
+        registry.counter(
+            "repro_trace_events_dropped_total",
+            fn=lambda t=trace: t.events_dropped,
+            help="Trace events delivered to listeners but evicted by the capacity-bounded recorder",
+        )
     return registry
 
 

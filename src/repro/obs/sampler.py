@@ -19,7 +19,7 @@ import json
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Deque, Dict, List, Optional, Tuple, Union
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from repro.obs.registry import MetricsRegistry
 from repro.sim.kernel import PeriodicTimer, Simulator
@@ -71,6 +71,7 @@ class TimeSeriesSampler:
         self.points_dropped = 0
         self._ring: Deque[SamplePoint] = deque(maxlen=capacity)
         self._timer: Optional[PeriodicTimer] = None
+        self._listeners: List[Callable[[SamplePoint], None]] = []
         if autostart:
             self.start()
 
@@ -96,7 +97,18 @@ class TimeSeriesSampler:
         if self.capacity is not None and len(self._ring) == self.capacity:
             self.points_dropped += 1
         self._ring.append(point)
+        for listener in self._listeners:
+            listener(point)
         return point
+
+    def subscribe(self, listener: Callable[[SamplePoint], None]) -> None:
+        """Call ``listener`` with every new :class:`SamplePoint`.
+
+        This is how the event store streams samples out of the ring as
+        they happen instead of re-reading it at run end; listeners see
+        even points the capacity-bounded ring later evicts.
+        """
+        self._listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Access
@@ -167,3 +179,51 @@ class TimeSeriesSampler:
             f"TimeSeriesSampler(period_s={self.period_s}, points={len(self._ring)}, "
             f"dropped={self.points_dropped})"
         )
+
+
+# ----------------------------------------------------------------------
+# Reload
+# ----------------------------------------------------------------------
+def load_timeseries_jsonl(path: Union[str, Path]) -> List[SamplePoint]:
+    """Reload :meth:`TimeSeriesSampler.export_jsonl` output.
+
+    The reconstructed points compare equal to the originals even when
+    series keys appear mid-run (each line carries exactly the keys its
+    point had) — the loss-free round trip the event store's import
+    bridge relies on.
+    """
+    points: List[SamplePoint] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        points.append(
+            SamplePoint(
+                time_s=float(record["t"]),
+                values={k: float(v) for k, v in record["values"].items()},
+            )
+        )
+    return points
+
+
+def load_timeseries_csv(path: Union[str, Path]) -> List[SamplePoint]:
+    """Reload :meth:`TimeSeriesSampler.export_csv` output.
+
+    The wide CSV pads ragged series (keys that appeared mid-run) with
+    empty cells; those cells are dropped on reload, restoring each
+    point's original key set.
+    """
+    points: List[SamplePoint] = []
+    with Path(path).open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return points
+        keys = header[1:]
+        for row in reader:
+            values = {
+                key: float(cell) for key, cell in zip(keys, row[1:]) if cell != ""
+            }
+            points.append(SamplePoint(time_s=float(row[0]), values=values))
+    return points

@@ -137,6 +137,20 @@ class Simulator:
         #: reported via ``profiler.record(label, callback, elapsed_s)``.
         #: Costs nothing when None.
         self.profiler: Optional[Any] = None
+        # Wall-clock anchor for observability timestamps (see
+        # ``wall_elapsed``); never read by the kernel itself.
+        self._wall_start: float = perf_counter()
+
+    def wall_elapsed(self) -> float:
+        """Wall-clock seconds since this simulator was constructed.
+
+        Purely diagnostic: the event store records it next to every
+        simulated timestamp so live dashboards can show how far the
+        sim clock runs ahead of (or behind) real time.  Nothing in the
+        kernel or the protocol stack reads it, so results stay
+        deterministic.
+        """
+        return perf_counter() - self._wall_start
 
     # ------------------------------------------------------------------
     # Clock

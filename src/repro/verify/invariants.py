@@ -171,6 +171,10 @@ class InvariantChecker:
         #: chains that never close into a cycle.
         self.monotone_grace_s = 2.0 * self.loop_grace_s
         self.violations: List[Violation] = []
+        #: Optional observer called with every confirmed
+        #: :class:`Violation` as it is recorded (before a strict-mode
+        #: raise) — how the event store streams the violation feed.
+        self.on_violation = None
         #: Transient/benign observation counts (convergence debris the
         #: checker tolerates but reports): keys include
         #: ``loop_transient``, ``loop_ghost``, ``non_monotone``,
@@ -296,6 +300,8 @@ class InvariantChecker:
         counter = self._counters.get(invariant)
         if counter is not None:
             counter.inc()
+        if self.on_violation is not None:
+            self.on_violation(violation)
         if self.strict:
             raise InvariantViolation(violation)
 

@@ -1,0 +1,168 @@
+"""Tests for the stdlib HTTP + SSE dashboard server."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.obs.dashboard import DashboardServer
+from repro.obs.instrument import instrument_network
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.store import EventStore, StoreRecorder
+
+CONFIG = MesherConfig(hello_period_s=60.0, route_timeout_s=300.0, purge_period_s=30.0)
+LINE4 = [(0.0, 0.0), (120.0, 0.0), (240.0, 0.0), (360.0, 0.0)]
+
+
+@pytest.fixture(scope="module")
+def stored_run(tmp_path_factory):
+    """One short stored run shared by every dashboard test."""
+    path = tmp_path_factory.mktemp("dash") / "run.db"
+    net = MeshNetwork.from_positions(LINE4, config=CONFIG, seed=4)
+    store = EventStore(path)
+    store.set_meta("protocol", "mesh")
+    registry = MetricsRegistry()
+    instrument_network(registry, net)
+    sampler = TimeSeriesSampler(net.sim, registry, period_s=120.0)
+    recorder = StoreRecorder(store, net, sampler=sampler).attach()
+    net.run(for_s=600.0)
+    recorder.detach()
+    store.close()
+    return path
+
+
+@pytest.fixture(scope="module")
+def server(stored_run):
+    server = DashboardServer(stored_run, port=0)  # port 0: pick a free one
+    server.start()
+    yield server
+    server.stop()
+
+
+def get(server, path):
+    with urllib.request.urlopen(f"{server.url.rstrip('/')}{path}", timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read()
+
+
+class TestEndpoints:
+    def test_index_html(self, server):
+        status, ctype, body = get(server, "/")
+        assert status == 200
+        assert "text/html" in ctype
+        assert b"<svg" in body  # topology map markup
+
+    def test_api_meta(self, server):
+        status, ctype, body = get(server, "/api/meta")
+        assert status == 200
+        assert "application/json" in ctype
+        meta = json.loads(body)
+        assert meta["meta"]["finished"] is True
+        assert meta["node_count"] == 4
+        assert meta["counts"]["frame"] > 0
+        assert meta["last_id"] >= meta["counts"]["frame"]
+
+    def test_api_nodes(self, server):
+        status, _, body = get(server, "/api/nodes")
+        assert status == 200
+        nodes = json.loads(body)
+        assert len(nodes) == 4
+        assert {"address", "name", "x", "y"} <= set(nodes[0])
+
+    def test_api_topology(self, server):
+        status, _, body = get(server, "/api/topology")
+        assert status == 200
+        topo = json.loads(body)
+        assert len(topo["nodes"]) == 4
+        assert [1, 2] in topo["links"]  # the line's first hop
+
+    def test_api_health(self, server):
+        status, _, body = get(server, "/api/health")
+        assert status == 200
+        health = json.loads(body)
+        assert health["coverage"] == 1.0
+        assert len(health["nodes"]) == 4
+        assert {"name", "routes", "frames_sent", "duty_utilisation"} <= set(health["nodes"][0])
+
+    def test_api_events_filtered(self, server):
+        status, _, body = get(server, "/api/events?kind=route&limit=5")
+        assert status == 200
+        events = json.loads(body)
+        assert 0 < len(events) <= 5
+        assert all(e["kind"] == "route" for e in events)
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, "/nope")
+        assert err.value.code == 404
+
+
+class TestStreams:
+    def read_sse(self, server, query, max_bytes=200_000):
+        """Collect SSE frames until the `end` control event."""
+        events = []
+        with urllib.request.urlopen(
+            f"{server.url.rstrip('/')}/stream?{query}", timeout=10
+        ) as resp:
+            assert resp.status == 200
+            assert "text/event-stream" in resp.headers.get("Content-Type", "")
+            current = {}
+            read = 0
+            for raw in resp:
+                read += len(raw)
+                line = raw.decode().rstrip("\n")
+                if line.startswith("event: "):
+                    current["event"] = line[len("event: "):]
+                elif line.startswith("data: "):
+                    current["data"] = json.loads(line[len("data: "):])
+                elif line == "" and current:
+                    events.append(current)
+                    if current.get("event") == "end":
+                        break
+                    current = {}
+                if read > max_bytes:
+                    break
+        return events
+
+    def test_live_stream_drains_finished_store(self, server):
+        events = self.read_sse(server, "mode=live")
+        kinds = {e.get("event") for e in events}
+        assert "route" in kinds and "frame" in kinds
+        assert events[-1]["event"] == "end"
+
+    def test_replay_stream_instant(self, server):
+        events = self.read_sse(server, "mode=replay&speed=0")
+        assert events[0]["event"] == "replay-start"
+        assert events[-1]["event"] == "end"
+        # Replay is in causal (insertion) order: nearly time-sorted, but a
+        # frame is recorded at its *start* time once it finishes, so t may
+        # step back by at most one airtime.
+        times = [e["data"]["t"] for e in events if "t" in e.get("data", {})]
+        assert all(b >= a - 2.0 for a, b in zip(times, times[1:]))
+        assert times[-1] >= times[0]
+
+    def test_replay_stream_range(self, server):
+        events = self.read_sse(server, "mode=replay&speed=0&t0=100&t1=200")
+        payload = [e for e in events if e["event"] not in ("replay-start", "end")]
+        assert payload
+        assert all(100.0 <= e["data"]["t"] < 200.0 for e in payload)
+
+
+class TestLifecycle:
+    def test_port_zero_picks_free_port(self, stored_run):
+        a = DashboardServer(stored_run, port=0)
+        b = DashboardServer(stored_run, port=0)
+        a.start()
+        b.start()
+        try:
+            assert a.port != b.port
+            assert str(a.port) in a.url
+        finally:
+            a.stop()
+            b.stop()
+
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DashboardServer(tmp_path / "absent.db")

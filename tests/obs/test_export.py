@@ -1,5 +1,8 @@
 """Tests for Prometheus/JSONL exposition of registry snapshots."""
 
+import json
+import math
+
 from repro.obs.export import (
     export_jsonl,
     export_prometheus,
@@ -68,3 +71,49 @@ class TestFiles:
     def test_prometheus_file(self, tmp_path):
         path = export_prometheus(make_registry().snapshot(), tmp_path / "metrics.prom")
         assert "frames_total" in path.read_text()
+
+
+class TestNonFiniteValues:
+    """NaN and ±Inf must survive both expositions (regression).
+
+    ``json.dumps`` would emit the non-standard ``NaN``/``Infinity``
+    tokens; the JSONL bridge spells them ``"NaN"``/``"+Inf"``/``"-Inf"``
+    instead and parses them back losslessly.
+    """
+
+    def make_nonfinite_registry(self):
+        registry = MetricsRegistry()
+        registry.gauge("g_nan").set(math.nan)
+        registry.gauge("g_pinf").set(math.inf)
+        registry.gauge("g_ninf").set(-math.inf)
+        registry.gauge("g_ok").set(1.5)
+        return registry
+
+    def test_prometheus_spellings(self):
+        lines = to_prometheus(self.make_nonfinite_registry().snapshot()).splitlines()
+        assert "g_nan NaN" in lines
+        assert "g_pinf +Inf" in lines
+        assert "g_ninf -Inf" in lines
+        assert "g_ok 1.5" in lines
+
+    def test_jsonl_is_strict_json(self):
+        text = to_jsonl(self.make_nonfinite_registry().snapshot())
+        for line in text.splitlines():
+            json.loads(line)  # would fail on bare NaN/Infinity tokens
+        assert "Infinity" not in text and ": NaN" not in text
+
+    def test_jsonl_round_trip_lossless(self):
+        snapshot = self.make_nonfinite_registry().snapshot()
+        back = from_jsonl(to_jsonl(snapshot))
+        by_name = {s.name: s for s in back}
+        assert math.isnan(by_name["g_nan"].value)
+        assert by_name["g_pinf"].value == math.inf
+        assert by_name["g_ninf"].value == -math.inf
+        assert by_name["g_ok"].value == 1.5
+
+    def test_histogram_nonfinite_sum_round_trips(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0,))
+        hist.observe(math.inf)
+        back = from_jsonl(to_jsonl(registry.snapshot()))
+        assert back[0].sum == math.inf

@@ -74,3 +74,16 @@ class TestInstrumentFlows:
         assert registry.value("repro_flows_sent_total") == 2
         assert registry.value("repro_flows_delivered_total") == 0
         assert registry.value("repro_flows_pdr") == 0.0
+
+
+class TestTraceDroppedCounter:
+    def test_exported_and_tracks_recorder(self):
+        net = MeshNetwork.from_positions(line_positions(3), config=FAST, seed=6)
+        net.trace.capacity = 5  # tiny ring: force drops
+        registry = instrument_network(MetricsRegistry(), net)
+        series = {s.key: s.value for s in registry.snapshot()}
+        assert series["repro_trace_events_dropped_total"] == 0
+        net.run(for_s=600.0)
+        assert net.trace.events_dropped > 0
+        series = {s.key: s.value for s in registry.snapshot()}
+        assert series["repro_trace_events_dropped_total"] == net.trace.events_dropped

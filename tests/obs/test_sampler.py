@@ -4,7 +4,11 @@ import csv
 import json
 
 from repro.obs.registry import MetricsRegistry
-from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.sampler import (
+    TimeSeriesSampler,
+    load_timeseries_csv,
+    load_timeseries_jsonl,
+)
 from repro.sim.kernel import Simulator
 
 
@@ -97,3 +101,57 @@ class TestExport:
         assert rows[0][0] == "time_s"
         assert "events_total" in rows[0]
         assert len(rows) == 3  # header + 2 points
+
+
+class TestRaggedRoundTrips:
+    """Series keys that appear mid-run must survive export → reload."""
+
+    def make_ragged(self):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        registry.gauge("always").set(1.0)
+        sampler = TimeSeriesSampler(sim, registry, period_s=10.0, autostart=False)
+        sim.run(until=10.0)
+        sampler.sample_now()  # only "always"
+        registry.gauge("late", labels={"node": "0002"}).set(7.5)
+        sim.run(until=20.0)
+        sampler.sample_now()  # "always" + the late key
+        return sampler
+
+    def test_jsonl_round_trip(self, tmp_path):
+        sampler = self.make_ragged()
+        path = sampler.export_jsonl(tmp_path / "series.jsonl")
+        points = load_timeseries_jsonl(path)
+        assert [p.time_s for p in points] == [10.0, 20.0]
+        assert [p.values for p in points] == [p.values for p in sampler.points]
+        assert "late{node=\"0002\"}" not in points[0].values
+        assert points[1].values["late{node=\"0002\"}"] == 7.5
+
+    def test_csv_round_trip_drops_empty_cells(self, tmp_path):
+        sampler = self.make_ragged()
+        path = sampler.export_csv(tmp_path / "series.csv")
+        points = load_timeseries_csv(path)
+        # CSV is a rectangular union of keys; reload restores the ragged
+        # per-point key sets by dropping empty cells.
+        assert [p.values for p in points] == [p.values for p in sampler.points]
+
+    def test_csv_and_jsonl_agree(self, tmp_path):
+        sampler = self.make_ragged()
+        from_csv = load_timeseries_csv(sampler.export_csv(tmp_path / "s.csv"))
+        from_jsonl_ = load_timeseries_jsonl(sampler.export_jsonl(tmp_path / "s.jsonl"))
+        assert from_csv == from_jsonl_
+
+
+class TestSubscribe:
+    def test_listeners_see_every_point(self):
+        sim, registry, counter = make_pair()
+        sampler = TimeSeriesSampler(sim, registry, period_s=10.0)
+        seen = []
+        sampler.subscribe(seen.append)
+        sim.schedule(15.0, lambda: counter.inc(2))
+        sim.run(until=25.0)
+        sampler.sample_now()
+        assert [p.time_s for p in seen] == [10.0, 20.0, 25.0]
+        assert seen[-1].values["events_total"] == 2.0
+        # Listener points are the same objects the ring stores.
+        assert seen == list(sampler.points)

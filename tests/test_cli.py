@@ -243,3 +243,52 @@ class TestProfileCommand:
         assert "Kernel hot spots" in out
         assert "handler" in out
         assert "events" in out
+
+
+class TestStoreServeReplay:
+    def simulate_store(self, tmp_path, capsys):
+        path = tmp_path / "run.db"
+        rc = main(
+            ["simulate", "--nodes", "4", "--duration", "600", "--store", str(path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "event store:" in out
+        assert path.exists()
+        return path
+
+    def test_simulate_store_writes_events(self, capsys, tmp_path):
+        from repro.obs.store import EventStore
+
+        path = self.simulate_store(tmp_path, capsys)
+        store = EventStore(path, mode="r")
+        counts = store.counts_by_kind()
+        assert counts["frame"] > 0
+        assert counts["route"] > 0
+        assert counts["sample"] > 0
+        assert store.meta()["finished"] is True
+        assert any(
+            e.data["phase"] == "converged" for e in store.events(kind="marker")
+        )
+        store.close()
+
+    def test_replay_console(self, capsys, tmp_path):
+        path = self.simulate_store(tmp_path, capsys)
+        rc = main(
+            ["replay", "--store", str(path), "--kind", "route", "--limit", "5", "--summary"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events replayed" in out
+        assert '"coverage": 1.0' in out
+
+    def test_replay_missing_store_fails(self, capsys, tmp_path):
+        assert main(["replay", "--store", str(tmp_path / "absent.db")]) == 2
+
+    def test_serve_missing_store_fails(self, capsys, tmp_path):
+        assert main(["serve", "--store", str(tmp_path / "absent.db")]) == 2
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--store", "run.db"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8437
