@@ -163,6 +163,69 @@ def test_perf_kernel_hotspot_attribution(benchmark):
     assert totals == sorted(totals, reverse=True)
 
 
+def _hello_stream(n_sources=8, rows=62, generations=40):
+    """A synthetic hello workload: ``n_sources`` neighbours re-advertise
+    ``rows``-row tables, with metrics drifting every other generation so
+    the stream mixes no-op merges with real updates (the convergence
+    traffic shape)."""
+    from repro.net.packets import RoutingEntry
+
+    packets = []
+    for gen in range(generations):
+        for src in range(n_sources):
+            base = 0x0100 + src * rows
+            bump = 1 if gen % 4 == 2 else 0
+            entries = tuple(
+                RoutingEntry.trusted(base + i, 3 + bump + (i % 3), 0) for i in range(rows)
+            )
+            packets.append((2 + src, entries))
+    return packets
+
+
+def _bench_merge_throughput(benchmark, impl):
+    from repro.net.routing_table import make_routing_table
+
+    stream = _hello_stream()
+    rows_merged = len(stream) * 62
+
+    def setup():
+        table = make_routing_table(1, route_timeout=1e9, max_metric=64, impl=impl)
+        return (table,), {}
+
+    def run(table):
+        now = 0.0
+        for src, entries in stream:
+            now += 1.0
+            table.process_hello(src, entries, now)
+        return table.size
+
+    size = benchmark.pedantic(run, setup=setup, rounds=20)
+    benchmark.extra_info["rows_merged"] = rows_merged
+    # 62 advertised rows plus the direct route per source.
+    assert size == 8 * 63
+
+
+def test_perf_hello_merge_throughput_scalar(benchmark, monkeypatch):
+    """DV merge throughput, scalar reference (rows merged per second =
+    ``rows_merged`` extra-info / measured time)."""
+    # An ambient REPRO_ROUTING_IMPL would silently make both paired
+    # benches measure the same implementation.
+    monkeypatch.delenv("REPRO_ROUTING_IMPL", raising=False)
+    _bench_merge_throughput(benchmark, "scalar")
+
+
+def test_perf_hello_merge_throughput_columnar(benchmark, monkeypatch):
+    """DV merge throughput through the columnar vectorized path.
+
+    Pairs with the scalar variant above; the ratio is the vectorization
+    speedup cited in BENCH_perf.json."""
+    import pytest
+
+    pytest.importorskip("numpy")
+    monkeypatch.delenv("REPRO_ROUTING_IMPL", raising=False)
+    _bench_merge_throughput(benchmark, "columnar")
+
+
 def test_perf_medium_resolution_dense_cell(benchmark):
     """Reception resolution with 16 listeners per frame."""
     from repro.medium.channel import Medium

@@ -92,11 +92,9 @@ def populate_oracle_tables(net: MeshNetwork, positions: Sequence[Position]) -> N
             if path is None or len(path) < 2:
                 continue
             next_hop = addresses[path[1]]
-            node.table._merge_candidate(other, next_hop, len(path) - 1, 0, now)
-            # Force the exact shortest-path next hop even if a previous
-            # merge picked an equal-metric alternative.
-            entry = node.table.get(other)
-            if entry is not None:
-                entry.via = next_hop
-                entry.metric = len(path) - 1
-                entry.updated_at = now
+            # Force the exact shortest-path next hop even if an
+            # equal-metric alternative exists.  set_route works on both
+            # table implementations — the columnar store hands out
+            # materialized entry copies, so mutating get() results would
+            # silently do nothing there.
+            node.table.set_route(other, next_hop, len(path) - 1, 0, now)

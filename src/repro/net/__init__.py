@@ -10,7 +10,9 @@ Layout
 * :mod:`repro.net.addresses` — 16-bit node addresses derived from MACs,
 * :mod:`repro.net.packets` / :mod:`repro.net.serialization` — byte-exact
   packet formats (routing, data, reliable-stream control),
-* :mod:`repro.net.routing_table` — the distance-vector routing table,
+* :mod:`repro.net.routing_table` — the distance-vector routing table
+  (scalar reference) and the implementation factory,
+* :mod:`repro.net.routing_store` — the columnar (numpy) routing store,
 * :mod:`repro.net.queues` — fixed-capacity packet queues (FreeRTOS-style),
 * :mod:`repro.net.hello` — periodic routing-table dissemination,
 * :mod:`repro.net.forwarding` — the data plane (via-based hop forwarding),
@@ -31,7 +33,7 @@ from repro.net.packets import (
     SyncPacket,
     XLDataPacket,
 )
-from repro.net.routing_table import RouteEntry, RoutingTable
+from repro.net.routing_table import RouteEntry, RoutingTable, make_routing_table
 from repro.net.api import AppMessage, MeshNode, MeshNetwork
 
 __all__ = [
@@ -49,6 +51,7 @@ __all__ = [
     "XLDataPacket",
     "RouteEntry",
     "RoutingTable",
+    "make_routing_table",
     "MeshNode",
     "MeshNetwork",
     "AppMessage",

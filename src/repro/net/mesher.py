@@ -40,7 +40,7 @@ from repro.net.packets import (
 )
 from repro.net.queues import PacketQueue, SendQueue
 from repro.net.reliable import CompletionFn, ReliableTransport
-from repro.net.routing_table import RouteEntry, RoutingTable
+from repro.net.routing_table import RouteEntry, RoutingTable, make_routing_table
 from repro.phy.airtime import time_on_air
 from repro.phy.pathloss import Position
 from repro.phy.regions import DutyCycleAccountant
@@ -121,12 +121,13 @@ class MesherNode:
         self.radio.on_receive = self._on_frame
         self.radio.on_tx_done = self._on_tx_done
 
-        self.table = RoutingTable(
+        self.table = make_routing_table(
             address,
             route_timeout=self.config.route_timeout_s,
             max_metric=self.config.max_metric,
             snr_tiebreak_db=self.config.link_quality_tiebreak_db,
             on_change=self._route_changed,
+            impl=self.config.routing_impl,
         )
         self.send_queue = SendQueue(self.config.send_queue_capacity)
         self.duty = DutyCycleAccountant(self.config.region)
@@ -218,12 +219,13 @@ class MesherNode:
     def recover(self) -> None:
         """Bring a failed node back (cold start: empty routing table)."""
         self.radio.power_on()
-        self.table = RoutingTable(
+        self.table = make_routing_table(
             self.address,
             route_timeout=self.config.route_timeout_s,
             max_metric=self.config.max_metric,
             snr_tiebreak_db=self.config.link_quality_tiebreak_db,
             on_change=self._route_changed,
+            impl=self.config.routing_impl,
         )
         self.hello._table = self.table  # the service follows the new table
         self.reliable._route_via = self.table.next_hop

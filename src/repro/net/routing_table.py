@@ -20,6 +20,7 @@ Update rules (RIP-style, as the firmware implements them):
 from __future__ import annotations
 
 import logging
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
@@ -112,6 +113,12 @@ class RoutingTable:
         #: route change, replaying it against an unchanged table reduces
         #: to the timestamp refreshes the original merge performed.
         self._merge_memo: Dict[int, tuple] = {}
+        #: Memoized snapshot() rows, keyed on (version, self_role):
+        #: stable-network beacons re-advertise an unchanged table every
+        #: hello period, and rebuilding + re-sorting the row list each
+        #: time was pure waste.  Timestamp-only refreshes keep the
+        #: version (and therefore the memo) valid.
+        self._snapshot_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Learning
@@ -290,6 +297,33 @@ class RoutingTable:
             return True
         return False
 
+    def set_route(
+        self,
+        address: int,
+        via: int,
+        metric: int,
+        role: int = _DEFAULT_ROLE,
+        now: float = 0.0,
+    ) -> None:
+        """Install or overwrite a route unconditionally.
+
+        The oracle baselines use this to force their precomputed
+        shortest paths into the table; notifies only on actual change.
+        """
+        current = self._routes.get(address)
+        if current is None:
+            entry = RouteEntry(address=address, via=via, metric=metric, role=role, updated_at=now)
+            self._routes[address] = entry
+            self._notify("added", entry)
+            return
+        changed = current.via != via or current.metric != metric or current.role != role
+        current.via = via
+        current.metric = metric
+        current.role = role
+        current.updated_at = now
+        if changed:
+            self._notify("updated", current)
+
     def _stronger_first_hop(self, candidate_via: int, current_via: int) -> bool:
         """Link-quality tie-break: is the candidate's first hop at least
         ``snr_tiebreak_db`` stronger than the current one's?
@@ -401,6 +435,9 @@ class RoutingTable:
         compute metric 1 for the direct route — matching the firmware,
         where the hello's source is itself the metric-0 row.
         """
+        cache = self._snapshot_cache
+        if cache is not None and cache[0] == self._version and cache[1] == self_role:
+            return list(cache[2])
         rows = [RoutingEntry(address=self.self_address, metric=0, role=self_role)]
         # Table rows were validated on the way in; skip re-validation.
         # Each row's wire entry is memoized on the RouteEntry and reused
@@ -416,6 +453,7 @@ class RoutingTable:
                 adv = trusted(e.address, e.metric, e.role)
                 e.advertised = adv
             append(adv)
+        self._snapshot_cache = (self._version, self_role, tuple(rows))
         return rows
 
     def format(self) -> str:
@@ -432,3 +470,55 @@ class RoutingTable:
         self._version += 1
         if self._on_change is not None:
             self._on_change(kind, entry)
+
+
+# ----------------------------------------------------------------------
+# Implementation selection
+# ----------------------------------------------------------------------
+#: Valid values of MesherConfig.routing_impl / REPRO_ROUTING_IMPL.
+ROUTING_IMPLS = ("auto", "scalar", "columnar")
+
+
+def make_routing_table(
+    self_address: int,
+    *,
+    route_timeout: float = 600.0,
+    max_metric: int = 16,
+    snr_tiebreak_db: Optional[float] = None,
+    on_change: Optional[ChangeHook] = None,
+    impl: str = "auto",
+):
+    """Build the configured routing-table implementation.
+
+    ``impl`` (usually ``MesherConfig.routing_impl``) picks between the
+    scalar dict-of-entries reference and the columnar numpy store; the
+    ``REPRO_ROUTING_IMPL`` environment variable overrides it globally,
+    which is how the A/B equivalence and benchmark runs flip a whole
+    mesh between implementations without touching configs.
+
+    ``auto`` resolves to columnar when numpy is available, else scalar.
+    Forcing ``columnar`` without numpy raises.
+    """
+    choice = os.environ.get("REPRO_ROUTING_IMPL") or impl
+    if choice not in ROUTING_IMPLS:
+        raise ValueError(f"routing impl must be one of {ROUTING_IMPLS}, got {choice!r}")
+    if choice != "scalar":
+        from repro.net import routing_store
+
+        if routing_store.HAVE_NUMPY:
+            return routing_store.ColumnarRoutingTable(
+                self_address,
+                route_timeout=route_timeout,
+                max_metric=max_metric,
+                snr_tiebreak_db=snr_tiebreak_db,
+                on_change=on_change,
+            )
+        if choice == "columnar":
+            raise RuntimeError("routing_impl='columnar' requires numpy")
+    return RoutingTable(
+        self_address,
+        route_timeout=route_timeout,
+        max_metric=max_metric,
+        snr_tiebreak_db=snr_tiebreak_db,
+        on_change=on_change,
+    )

@@ -1,9 +1,24 @@
-"""Tests for the distance-vector routing table."""
+"""Tests for the distance-vector routing table.
+
+The whole module runs twice: once against the scalar reference and once
+against the columnar (numpy) store, which must be observationally
+identical.  ``VECTOR_MIN_ROWS`` is dropped to 1 so even the small
+packets used here exercise the vectorized merge path.
+"""
 
 import pytest
 
 from repro.net.packets import NodeRole, RoutingEntry
 from repro.net.routing_table import RoutingTable
+
+try:
+    from repro.net.routing_store import ColumnarRoutingTable
+
+    IMPLS = {"scalar": RoutingTable, "columnar": ColumnarRoutingTable}
+except ImportError:  # numpy unavailable: scalar only
+    IMPLS = {"scalar": RoutingTable}
+
+_CLS = RoutingTable
 
 ME = 0x0001
 N1 = 0x0002  # neighbour 1
@@ -11,8 +26,23 @@ N2 = 0x0003  # neighbour 2
 FAR = 0x0004  # two hops away
 
 
-def table(**kwargs) -> RoutingTable:
-    return RoutingTable(ME, **kwargs)
+@pytest.fixture(params=sorted(IMPLS), autouse=True)
+def _table_impl(request):
+    global _CLS
+    _CLS = IMPLS[request.param]
+    yield
+    _CLS = RoutingTable
+
+
+def make(self_address, **kwargs):
+    t = _CLS(self_address, **kwargs)
+    if hasattr(t, "VECTOR_MIN_ROWS"):
+        t.VECTOR_MIN_ROWS = 1
+    return t
+
+
+def table(**kwargs):
+    return make(ME, **kwargs)
 
 
 class TestHeardFrom:
@@ -173,8 +203,8 @@ class TestSnapshot:
 
     def test_two_tables_converge_via_snapshots(self):
         # A miniature two-node exchange: tables teach each other.
-        ta = RoutingTable(0x000A)
-        tb = RoutingTable(0x000B)
+        ta = make(0x000A)
+        tb = make(0x000B)
         tb.heard_from(0x000C, now=0.0)  # B knows C
         ta.process_hello(0x000B, tb.snapshot()[1:], now=1.0)
         assert ta.metric(0x000B) == 1
@@ -184,7 +214,7 @@ class TestSnapshot:
 class TestChangeHook:
     def test_hook_sees_adds_updates_removes(self):
         events = []
-        t = RoutingTable(ME, route_timeout=100.0, on_change=lambda k, e: events.append((k, e.address)))
+        t = make(ME, route_timeout=100.0, on_change=lambda k, e: events.append((k, e.address)))
         t.process_hello(N1, [RoutingEntry(address=FAR, metric=3)], now=0.0)
         t.process_hello(N2, [RoutingEntry(address=FAR, metric=1)], now=1.0)
         t.purge(now=500.0)
@@ -197,13 +227,13 @@ class TestChangeHook:
 class TestValidation:
     def test_bad_timeout_rejected(self):
         with pytest.raises(ValueError):
-            RoutingTable(ME, route_timeout=0.0)
+            make(ME, route_timeout=0.0)
 
     def test_bad_max_metric_rejected(self):
         with pytest.raises(ValueError):
-            RoutingTable(ME, max_metric=0)
+            make(ME, max_metric=0)
         with pytest.raises(ValueError):
-            RoutingTable(ME, max_metric=256)
+            make(ME, max_metric=256)
 
     def test_format_renders_all_routes(self):
         t = table()
@@ -225,7 +255,7 @@ class TestMergeMemoEviction:
         return entries
 
     def test_memo_evicted_when_neighbour_route_expires(self):
-        t = RoutingTable(ME, route_timeout=100.0)
+        t = make(ME, route_timeout=100.0)
         self._noop_hello(t, N1, now=0.0)
         assert N1 in t._merge_memo
         t.purge(now=500.0)
