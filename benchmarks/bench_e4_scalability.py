@@ -137,6 +137,48 @@ def measure_large(n: int, seed: int, config: MesherConfig = LARGE_N_CONFIG):
     }
 
 
+def measure_large_sharded(
+    n: int,
+    seed: int,
+    *,
+    shards: int,
+    workers: int,
+    window_s: float = 5.0,
+    config: MesherConfig = LARGE_N_CONFIG,
+):
+    """One large-N point through the sharded runner (same placement and
+    convergence cadence as :func:`measure_large`).  ``window_s=5`` is the
+    measured operating point where windowed visibility keeps routing
+    behaviour at serial parity (see ``check_shard_fingerprints.py``)."""
+    from repro.sim.shard import run_sharded
+
+    positions, stats = connected_placement_large(n, seed)
+    start = time.perf_counter()
+    result = run_sharded(
+        positions,
+        shards=shards,
+        workers=workers,
+        config=config,
+        seed=seed,
+        window_s=window_s,
+        converge_timeout_s=86400.0,
+        check_period_s=120.0,
+    )
+    wall_s = time.perf_counter() - start
+    return {
+        "n": n,
+        "diameter": stats.diameter,
+        "convergence_s": result.convergence_s,
+        "wall_s": wall_s,
+        "control_frames": result.frames,
+        "control_bytes": result.bytes,
+        "airtime_s": result.airtime_s,
+        "boundary_exports": result.boundary_exports,
+        "load_imbalance": result.load_imbalance(),
+        "shard_busy_s": [round(s.busy_s, 2) for s in result.stats],
+    }
+
+
 def measure_point(n: int):
     """Module-level fixed-seed point so the sweep can run in worker
     processes (``REPRO_BENCH_WORKERS``)."""
@@ -216,6 +258,37 @@ def test_e4_large_n_300_smoke(benchmark):
     regression gate against BENCH_perf_baseline.json."""
     result = benchmark.pedantic(lambda: measure_large(300, seed=5), rounds=1, iterations=1)
     _check_large_point(result)
+
+
+def test_e4_sharded_n300_smoke(benchmark):
+    """Perf-smoke point for the sharded runner: the n=300 workload split
+    into two strips with two worker processes.  Guards the whole
+    shard-coordination path (partitioning, window barriers, ghost
+    exchange over pipes, merged convergence checks) against wall-clock
+    regressions alongside the serial n=300 point."""
+    result = benchmark.pedantic(
+        lambda: measure_large_sharded(300, seed=5, shards=2, workers=2),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        ["nodes", "diameter", "convergence (s)", "wall (s)", "frames", "boundary exports", "imbalance"],
+        [
+            (
+                result["n"],
+                result["diameter"],
+                f"{result['convergence_s']:.0f}",
+                f"{result['wall_s']:.1f}",
+                result["control_frames"],
+                result["boundary_exports"],
+                f"{result['load_imbalance']:.2f}",
+            )
+        ],
+        title="E4 sharded smoke: 300 nodes, 2 strips x 2 workers",
+    )
+    assert result["convergence_s"] is not None, "sharded n=300 failed to converge"
+    assert result["boundary_exports"] > 0, "strips never exchanged a boundary frame"
+    assert result["convergence_s"] < (result["diameter"] + 4) * 2 * LARGE_N_CONFIG.hello_period_s
 
 
 @pytest.mark.slow

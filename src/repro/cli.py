@@ -85,8 +85,78 @@ def _resolve_positions(args: argparse.Namespace):
     return _make_positions(args.topology, args.nodes, args.spacing), None
 
 
+def _simulate_sharded(args: argparse.Namespace) -> int:
+    """`simulate --shards N`: the same scenario on the sharded runner."""
+    if args.capture or getattr(args, "trace", None) or getattr(args, "store", None):
+        print(
+            "error: --capture/--trace/--store need the in-process network "
+            "and are not available with --shards > 1",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.sim.shard import run_sharded
+
+    positions, layout = _resolve_positions(args)
+    config = _config(args)
+    if layout is not None:
+        config = config.replace(lora=layout.params())
+    # Convergence is checked every ~10 s like the serial path, snapped to
+    # a whole number of windows (the barrier alignment run_sharded needs).
+    window = args.shard_window
+    check = window * max(1, round(10.0 / window))
+    result = run_sharded(
+        positions,
+        shards=args.shards,
+        config=config,
+        seed=args.seed,
+        workers=args.shard_workers,
+        window_s=window,
+        converge_timeout_s=args.duration,
+        check_period_s=check,
+        extend_to_s=args.duration,
+    )
+    convergence = result.convergence_s
+    rows = [
+        (
+            s.shard,
+            s.nodes,
+            s.events,
+            s.frames_sent,
+            f"{s.airtime_s:.2f}",
+            s.exports_sent,
+            s.ghosts_received,
+            f"{s.busy_s:.2f}",
+        )
+        for s in result.stats
+    ]
+    print(
+        format_table(
+            ["shard", "nodes", "events", "frames", "TX airtime (s)", "exports", "ghosts", "busy (s)"],
+            rows,
+            title=(
+                f"{args.shards} shard(s) x {result.workers} worker(s), "
+                f"window {window:g} s, "
+                + (
+                    f"converged at {convergence:.0f} s"
+                    if convergence is not None
+                    else "DID NOT CONVERGE"
+                )
+            ),
+        )
+    )
+    print(
+        f"\nfingerprint {result.fingerprint['digest'][:16]}  "
+        f"frames={result.frames} bytes={result.bytes} "
+        f"boundary exports={result.boundary_exports} "
+        f"load imbalance={result.load_imbalance():.2f}"
+    )
+    return 0 if convergence is not None else 1
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run a mesh and report routing/traffic/duty statistics."""
+    if getattr(args, "shards", 1) > 1:
+        return _simulate_sharded(args)
     positions, layout = _resolve_positions(args)
     config = _config(args)
     if layout is not None:
@@ -613,6 +683,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", metavar="PATH", default=None,
         help="stream every frame, route event, delivery and health sample "
         "into a SQLite event store at PATH (serve it with `repro serve`)",
+    )
+    simulate.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the mesh into N spatial strips and run them on "
+        "the sharded multi-process runner (default: 1 = serial)",
+    )
+    simulate.add_argument(
+        "--shard-workers", type=int, default=None,
+        help="worker processes for --shards (default: one per shard; "
+        "1 = run every shard in-process)",
+    )
+    simulate.add_argument(
+        "--shard-window", type=float, default=1.0,
+        help="conservative window (simulated s) between shard barriers",
     )
     simulate.set_defaults(func=cmd_simulate)
 

@@ -84,6 +84,12 @@ class RunResult:
     #: path of the WAL-mode event store the run streamed into (serve it
     #: with ``repro serve`` or replay it with ``repro replay``).
     store_path: Optional[Path] = None
+    #: Populated when ``run_protocol(..., shards=...)`` ran the scenario
+    #: on the sharded multi-process runner: the merged
+    #: :class:`~repro.sim.shard.ShardedRunResult` (fingerprint, per-shard
+    #: load stats, boundary-traffic counts).  ``network`` is None on a
+    #: sharded run — the mesh lived in worker processes.
+    sharded: Optional[object] = None
 
     @property
     def pdr(self) -> float:
@@ -123,6 +129,9 @@ def run_protocol(
     fault_plan: Optional[FaultPlan] = None,
     store: Optional[Union[str, Path]] = None,
     store_frames: bool = True,
+    shards: int = 1,
+    shard_workers: Optional[int] = None,
+    shard_window_s: float = 1.0,
 ) -> RunResult:
     """Run one scenario and measure it.
 
@@ -156,11 +165,31 @@ def run_protocol(
     store on or off.  When ``sample_period_s`` is not given, a store
     run samples every 60 simulated seconds so dashboards get health
     trajectories.
+
+    ``shards`` > 1 (MESH only) runs the scenario on the sharded
+    multi-process runner (:func:`repro.sim.shard.run_sharded`): the
+    placement is partitioned into spatial strips, each strip simulates
+    in its own worker process (``shard_workers`` caps the process
+    count), and boundary-crossing frames are exchanged at conservative
+    ``shard_window_s`` barriers.  The merged result comes back on
+    ``RunResult.sharded``; ``network`` is None on a sharded run.
+    Samplers, stores and fault plans need the live in-process network
+    and are rejected with ``shards > 1``.
     """
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
     if (verify or fault_plan is not None) and protocol is not Protocol.MESH:
         raise ValueError("verify/fault_plan require Protocol.MESH")
+    if shards != 1 or shard_workers is not None:
+        return _run_sharded_protocol(
+            protocol, positions, traffic,
+            duration_s=duration_s, seed=seed, config=config, pathloss=pathloss,
+            converge_first=converge_first, converge_timeout_s=converge_timeout_s,
+            drain_s=drain_s, sample_period_s=sample_period_s, verify=verify,
+            verify_audit_period_s=verify_audit_period_s, fault_plan=fault_plan,
+            store=store, shards=shards, shard_workers=shard_workers,
+            shard_window_s=shard_window_s,
+        )
     if store is not None and sample_period_s is None:
         sample_period_s = 60.0
     recorder = FlowRecorder()
@@ -291,6 +320,81 @@ def run_protocol(
         sampler=sampler,
         checker=checker,
         store_path=Path(store) if store is not None else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sharded execution
+# ----------------------------------------------------------------------
+def _run_sharded_protocol(
+    protocol: Protocol,
+    positions: Sequence[Position],
+    traffic: Sequence[TrafficSpec],
+    *,
+    duration_s: float,
+    seed: int,
+    config: Optional[MesherConfig],
+    pathloss: Optional[PathLossModel],
+    converge_first: bool,
+    converge_timeout_s: float,
+    drain_s: float,
+    sample_period_s: Optional[float],
+    verify: bool,
+    verify_audit_period_s: float,
+    fault_plan: Optional[FaultPlan],
+    store: Optional[Union[str, Path]],
+    shards: int,
+    shard_workers: Optional[int],
+    shard_window_s: float,
+) -> RunResult:
+    """Dispatch a MESH scenario to :func:`repro.sim.shard.run_sharded`
+    and repackage the merged outcome as an ordinary :class:`RunResult`."""
+    if protocol is not Protocol.MESH:
+        raise ValueError("sharded execution supports Protocol.MESH only")
+    if sample_period_s is not None or store is not None or fault_plan is not None:
+        raise ValueError(
+            "samplers, event stores and fault plans need the live "
+            "in-process network; they are not supported with shards > 1"
+        )
+    # Imported here, not at module top: repro.sim.shard builds networks
+    # and senders itself, and the eager import would be cyclic.
+    from repro.sim.shard import run_sharded
+
+    result = run_sharded(
+        positions,
+        shards=shards,
+        config=config,
+        seed=seed,
+        workers=shard_workers,
+        window_s=shard_window_s,
+        converge=converge_first,
+        converge_timeout_s=converge_timeout_s,
+        duration_s=duration_s,
+        drain_s=drain_s,
+        traffic=list(traffic),
+        verify=verify,
+        verify_audit_period_s=verify_audit_period_s,
+        pathloss=pathloss,
+    )
+    delivered_bytes = result.recorder.delivered_bytes()
+    overhead = OverheadSummary(
+        frames_sent=result.frames,
+        bytes_sent=result.bytes,
+        airtime_s=result.airtime_s,
+        airtime_per_delivered_byte_ms=(
+            result.airtime_s * 1000 / delivered_bytes if delivered_bytes else float("inf")
+        ),
+        duty_cycle_peak=0.0,  # per-node duty windows stay in the workers
+    )
+    return RunResult(
+        protocol=protocol,
+        recorder=result.recorder,
+        network=None,
+        duration_s=duration_s,
+        convergence_time_s=result.convergence_s,
+        overhead=overhead,
+        checker=result.checker,
+        sharded=result,
     )
 
 

@@ -7,12 +7,45 @@ iteration and aggregation uniform across bench files.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import itertools
 import multiprocessing
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.metrics.stats import confidence_interval_95, mean
+
+# One persistent pool per worker count, shared across run_parallel calls
+# (see shared_pool): fork/spawn cost is paid once per sweep session, not
+# once per sweep stage.
+_POOLS: Dict[int, multiprocessing.pool.Pool] = {}
+
+
+def shared_pool(workers: int) -> multiprocessing.pool.Pool:
+    """A process pool reused across :func:`run_parallel` calls.
+
+    Multi-stage benchmarks call ``run_parallel`` once per sweep axis;
+    respawning interpreters each time costs more than some of the points
+    themselves.  The pool for each worker count is created on first use
+    and torn down once at interpreter exit.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = multiprocessing.Pool(processes=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def _close_pools() -> None:
+    for pool in _POOLS.values():
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+
+
+atexit.register(_close_pools)
 
 
 def derive_seed(master: int, index: int) -> int:
@@ -33,6 +66,7 @@ def run_parallel(
     *,
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    reuse_pool: bool = True,
 ) -> List[Any]:
     """Map ``fn`` over sweep points, optionally across worker processes.
 
@@ -50,6 +84,11 @@ def run_parallel(
     workers))`` — roughly four batches per worker, which amortises the
     per-point IPC overhead on large sweeps while still load-balancing
     uneven point runtimes.  Pass an explicit ``chunksize`` to override.
+
+    ``reuse_pool=True`` (the default) serves the map from a persistent
+    :func:`shared_pool`, so back-to-back sweep stages skip the per-call
+    interpreter spawn; pass ``reuse_pool=False`` to get a private pool
+    torn down when the call returns.
     """
     points = list(points)
     if workers is not None and workers < 0:
@@ -60,6 +99,8 @@ def run_parallel(
         return [fn(point) for point in points]
     if chunksize is None:
         chunksize = max(1, len(points) // (4 * workers))
+    if reuse_pool:
+        return shared_pool(min(workers, len(points))).map(fn, points, chunksize)
     with multiprocessing.Pool(processes=min(workers, len(points))) as pool:
         return pool.map(fn, points, chunksize)
 

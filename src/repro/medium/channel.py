@@ -268,6 +268,18 @@ class Medium:
         #: attaching it keeps the fast path.  The event store's default
         #: frame stream uses this.
         self.on_frame: Optional[Callable[[Transmission], None]] = None
+        #: Optional hook fired the instant a *local* frame goes on the
+        #: air (from :meth:`begin_transmission`, not from
+        #: :meth:`inject_external`).  The sharded runner uses it to
+        #: export boundary-crossing transmissions; a pure observer, so
+        #: attaching it cannot change outcomes.
+        self.on_transmit_start: Optional[Callable[[Transmission], None]] = None
+        #: Interning table for externally injected params: ghost frames
+        #: arrive from other processes with fresh (unpickled) LoRaParams
+        #: objects, and the reachable/max-range caches key on
+        #: ``id(params)`` — interning keeps repeated ghosts from one
+        #: remote sender on a single params object.
+        self._extern_params: Dict[LoRaParams, LoRaParams] = {}
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -461,6 +473,42 @@ class Medium:
         """Start a frame on the air; reception resolves at ``now+airtime``."""
         if airtime <= 0:
             raise ValueError(f"airtime must be positive, got {airtime}")
+        tx = self._launch(sender_id, position, params, payload, airtime)
+        if self.on_transmit_start is not None:
+            self.on_transmit_start(tx)
+        return tx
+
+    def inject_external(
+        self,
+        sender_id: int,
+        position: Position,
+        params: LoRaParams,
+        payload: bytes,
+        airtime: float,
+    ) -> Transmission:
+        """Put a frame on the air from a sender that is *not attached*.
+
+        The sharded runner re-airs boundary-crossing transmissions from
+        remote shards through this entry point: the ghost frame occupies
+        the channel (CAD sees it, it interferes, listeners in range can
+        receive it) exactly like a local one, but no listener delivery
+        ever targets the remote sender and :attr:`on_transmit_start`
+        does not fire (the coordinator already routed the frame to every
+        strip its audible disk touches, so re-export would duplicate).
+        """
+        if airtime <= 0:
+            raise ValueError(f"airtime must be positive, got {airtime}")
+        params = self._extern_params.setdefault(params, params)
+        return self._launch(sender_id, position, params, payload, airtime)
+
+    def _launch(
+        self,
+        sender_id: int,
+        position: Position,
+        params: LoRaParams,
+        payload: bytes,
+        airtime: float,
+    ) -> Transmission:
         now = self._sim.now
         tx = Transmission(
             tx_id=next(self._tx_counter),
@@ -481,6 +529,16 @@ class Medium:
             label=lambda: f"tx#{tx.tx_id} end",
         )
         return tx
+
+    def max_range_m(self, params: LoRaParams) -> Optional[float]:
+        """Conservative maximum communication range for ``params`` in
+        metres, or None when the path-loss model cannot bound it.
+
+        Public alias of the internal bound the batch engine uses for
+        grid candidate queries; the sharded runner partitions space with
+        the same radius so its strips align with what the medium can
+        actually hear."""
+        return self._max_range_for(params)
 
     def _complete(self, tx: Transmission) -> None:
         self._active.pop(tx.tx_id, None)

@@ -19,7 +19,10 @@ iteration is deterministic for a fixed attach/move history.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+import math
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 Position = Tuple[float, float]
 
@@ -141,3 +144,94 @@ class SpatialGrid:
     def cell_count(self) -> int:
         """Number of non-empty cells (diagnostics)."""
         return len(self._cells)
+
+
+# ----------------------------------------------------------------------
+# Spatial partitioning for the sharded runner (repro.sim.shard)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic spatial partition of the plane into x-strips.
+
+    Strip ``i`` owns positions with ``cuts[i-1] <= x < cuts[i]`` (the
+    first and last strips extend to infinity).  Every cut is snapped to
+    a :class:`SpatialGrid` cell edge (a multiple of ``cell_size``), so a
+    strip is an exact union of grid-cell columns — the same geometry the
+    medium's candidate index uses.
+
+    The plan is a pure function of (positions, shards, cell size), so
+    every worker process derives the identical partition independently —
+    no partition table ever crosses the IPC boundary.
+    """
+
+    cuts: Tuple[float, ...]  # interior boundaries, strictly ascending
+    cell_size: float
+
+    @property
+    def shards(self) -> int:
+        """Number of strips."""
+        return len(self.cuts) + 1
+
+    def shard_of(self, position: Position) -> int:
+        """The strip owning ``position``."""
+        return bisect_right(self.cuts, position[0])
+
+    def shards_overlapping(self, position: Position, radius_m: float) -> range:
+        """Strips whose x-interval intersects the disk around ``position``.
+
+        Used to route a boundary-crossing transmission: every strip in
+        the returned range can contain a listener inside the audible
+        disk (a conservative superset — the exact membership test stays
+        with the destination shard's own PHY).
+        """
+        x = position[0]
+        lo = bisect_left(self.cuts, x - radius_m)
+        hi = bisect_right(self.cuts, x + radius_m)
+        return range(lo, hi + 1)
+
+    def is_interior(self, position: Position, radius_m: float) -> bool:
+        """Whether the disk around ``position`` stays inside one strip
+        (no boundary export needed for a transmission from there)."""
+        r = self.shards_overlapping(position, radius_m)
+        return len(r) == 1
+
+    def partition(self, positions: Sequence[Position]) -> List[List[int]]:
+        """Position indices per strip, preserving input order."""
+        owned: List[List[int]] = [[] for _ in range(self.shards)]
+        for index, position in enumerate(positions):
+            owned[self.shard_of(position)].append(index)
+        return owned
+
+
+def plan_strips(
+    positions: Sequence[Position], shards: int, cell_size_m: float
+) -> ShardPlan:
+    """Build a node-count-balanced :class:`ShardPlan` over ``positions``.
+
+    Cuts are placed at the x-quantiles of the placement and snapped
+    *down* to the nearest grid-cell edge; a cut that would collide with
+    (or cross under) its predecessor is pushed one cell up instead, so
+    cuts are always strictly ascending.  Degenerate placements can
+    therefore produce empty strips — the caller decides whether that is
+    acceptable (the sharded runner reports per-shard node counts).
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if cell_size_m <= 0.0:
+        raise ValueError(f"cell size must be positive, got {cell_size_m}")
+    if shards == 1:
+        return ShardPlan(cuts=(), cell_size=cell_size_m)
+    if not positions:
+        raise ValueError("cannot partition an empty placement")
+    xs = sorted(p[0] for p in positions)
+    n = len(xs)
+    cuts: List[float] = []
+    prev = -math.inf
+    for i in range(1, shards):
+        target = xs[min(n - 1, (i * n) // shards)]
+        cut = math.floor(target / cell_size_m) * cell_size_m
+        if cut <= prev:
+            cut = (prev if prev != -math.inf else cut) + cell_size_m
+        cuts.append(cut)
+        prev = cut
+    return ShardPlan(cuts=tuple(cuts), cell_size=cell_size_m)

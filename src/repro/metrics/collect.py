@@ -68,6 +68,26 @@ class FlowRecorder:
         seen.add(probe.seq)
         self._latencies.setdefault(key, []).append(message.received_at - probe.sent_at)
 
+    def merge_from(self, other: "FlowRecorder") -> None:
+        """Fold another recorder's records into this one.
+
+        The sharded runner keeps one recorder per worker (sends recorded
+        where the flow's source lives, deliveries where its destination
+        lives) and merges them after the run.  Record sets from disjoint
+        node populations never overlap, but the merge is written to be
+        safe either way: sends unite per-flow seq maps, deliveries unite
+        seq sets, and latencies/duplicate counts concatenate/add.
+        """
+        for key, sent in other._sent.items():
+            self._sent.setdefault(key, {}).update(sent)
+        for key, seen in other._delivered.items():
+            self._delivered.setdefault(key, set()).update(seen)
+        for key, latencies in other._latencies.items():
+            self._latencies.setdefault(key, []).extend(latencies)
+        for key, count in other._duplicates.items():
+            self._duplicates[key] = self._duplicates.get(key, 0) + count
+        self.non_probe_messages += other.non_probe_messages
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------

@@ -85,9 +85,12 @@ class ColumnarRoutingTable:
 
     #: Packets with fewer (post-mask) rows than this merge via the
     #: per-row loop: numpy call overhead beats the loop only once a
-    #: packet carries a dozen or so rows.  Tests lower it to force the
-    #: vector path on small payloads.
-    VECTOR_MIN_ROWS = 12
+    #: packet carries a dozen or so rows.  Measured on the steady-state
+    #: no-op merge: scalar wins through 12 rows (33 vs 36 us/packet),
+    #: vector wins from 16 (36 vs 41) out to the 62-row full hello
+    #: payload (74 vs 101) — the crossover sits at ~14.  Tests lower it
+    #: to force the vector path on small payloads.
+    VECTOR_MIN_ROWS = 14
 
     def __init__(
         self,
@@ -114,6 +117,13 @@ class ColumnarRoutingTable:
         self._version: int = 0
         self._snr_version: int = 0
         self._merge_memo: Dict[int, tuple] = {}
+        # neighbour -> (version, snr_version, slot, role, snr): the
+        # steady-state heard_from refresh validated against both version
+        # counters, so a hit needs zero numpy scalar reads.  Any via/
+        # metric/role change bumps _version and any SNR change bumps
+        # _snr_version, so a stale slot can never validate.  Bounded by
+        # the neighbour degree (one entry per heard address).
+        self._direct_memo: Dict[int, tuple] = {}
         cap = 8
         self._addr = np.empty(cap, dtype=np.int64)
         self._via = np.empty(cap, dtype=np.int64)
@@ -239,39 +249,77 @@ class ColumnarRoutingTable:
         """Refresh the direct route to a neighbour we just heard."""
         if neighbour == self.self_address or neighbour == BROADCAST_ADDRESS:
             return
+        memo = self._direct_memo.get(neighbour)
+        if memo is not None and memo[0] == self._version and memo[1] == self._snr_version:
+            # Steady state: the slot is still the direct route (any
+            # via/metric change would have bumped a version), and the
+            # cached role/SNR mirror the row, so the refresh needs only
+            # the _updated write — no numpy scalar reads at all.
+            slot, cur_role, cur_snr = memo[2], memo[3], memo[4]
+            if role and role != cur_role:
+                self._role[slot] = role
+                self._version += 1
+                cur_role = role
+            self._updated[slot] = now
+            if snr_db is None:
+                if cur_snr == cur_snr:  # had a value, now unknown
+                    self._snr_version += 1
+                    self._snr[slot] = _NAN
+                    cur_snr = _NAN
+            elif cur_snr != snr_db:  # NaN != value is also a change
+                self._snr_version += 1
+                self._snr[slot] = snr_db
+                cur_snr = snr_db
+            self._direct_memo[neighbour] = (
+                self._version, self._snr_version, slot, cur_role, cur_snr
+            )
+            return
         slots = self._slots
         slot = slots.item(neighbour) if neighbour < slots.shape[0] else -1
         if slot >= 0 and self._via.item(slot) == neighbour and self._metric.item(slot) == 1:
-            # Already the direct route: refresh columns in place (every
-            # received packet lands here — .item() scalar reads keep the
-            # numpy overhead to a minimum).
-            if role and role != self._role.item(slot):
+            # Already the direct route but the memo went stale (another
+            # table change bumped a version): refresh in place and
+            # re-prime the memo for the next packet.
+            cur_role = self._role.item(slot)
+            if role and role != cur_role:
                 self._role[slot] = role
                 self._version += 1
+                cur_role = role
             self._updated[slot] = now
             cur_snr = self._snr.item(slot)
             if snr_db is None:
                 if cur_snr == cur_snr:  # had a value, now unknown
                     self._snr_version += 1
                     self._snr[slot] = _NAN
+                    cur_snr = _NAN
             elif cur_snr != snr_db:  # NaN != value is also a change
                 self._snr_version += 1
                 self._snr[slot] = snr_db
-            return
-        if slot < 0:
-            slot = self._append_row(
-                neighbour, neighbour, 1, role, now, _NAN if snr_db is None else snr_db
+                cur_snr = snr_db
+            self._direct_memo[neighbour] = (
+                self._version, self._snr_version, slot, cur_role, cur_snr
             )
+            return
+        snr = _NAN if snr_db is None else snr_db
+        if slot < 0:
+            slot = self._append_row(neighbour, neighbour, 1, role, now, snr)
             self._notify_slot("added", slot)
+            self._direct_memo[neighbour] = (
+                self._version, self._snr_version, slot, role, snr
+            )
             return
         # Existing multi-hop route becomes direct: overwrite in place
         # (keeps the insertion stamp, matching dict key-overwrite order).
         self._via[slot] = neighbour
         self._metric[slot] = 1
-        self._role[slot] = role or int(self._role[slot])
+        new_role = role or int(self._role[slot])
+        self._role[slot] = new_role
         self._updated[slot] = now
-        self._snr[slot] = _NAN if snr_db is None else snr_db
+        self._snr[slot] = snr
         self._notify_slot("updated", slot)
+        self._direct_memo[neighbour] = (
+            self._version, self._snr_version, slot, new_role, snr
+        )
 
     def process_hello(
         self,

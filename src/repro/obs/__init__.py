@@ -37,7 +37,12 @@ from repro.obs.export import (
     to_jsonl,
     to_prometheus,
 )
-from repro.obs.instrument import instrument_flows, instrument_network, instrument_node
+from repro.obs.instrument import (
+    instrument_flows,
+    instrument_network,
+    instrument_node,
+    instrument_shards,
+)
 from repro.obs.profiler import HotSpot, KernelProfiler
 from repro.obs.registry import (
     AIRTIME_BUCKETS_S,
@@ -79,6 +84,7 @@ __all__ = [
     "instrument_network",
     "instrument_node",
     "instrument_flows",
+    "instrument_shards",
     "to_prometheus",
     "to_jsonl",
     "from_jsonl",

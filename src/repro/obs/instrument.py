@@ -177,6 +177,63 @@ def instrument_network(
     return registry
 
 
+def instrument_shards(registry: MetricsRegistry, result) -> MetricsRegistry:
+    """Bind a finished :class:`~repro.sim.shard.ShardedRunResult` into the
+    registry: boundary traffic, per-shard load, and barrier stalls.
+
+    Shard metrics are post-run by nature (the shards lived in worker
+    processes), so the instruments read the merged result snapshot.
+    """
+    for stats in result.stats:
+        labels = {"shard": str(stats.shard)}
+        registry.gauge(
+            "repro_shard_nodes", labels=labels,
+            fn=lambda s=stats: s.nodes,
+            help="Nodes owned by the shard",
+        )
+        registry.counter(
+            "repro_shard_events_total", labels=labels,
+            fn=lambda s=stats: s.events,
+            help="Kernel events the shard executed",
+        )
+        registry.counter(
+            "repro_shard_frames_sent_total", labels=labels,
+            fn=lambda s=stats: s.frames_sent,
+            help="Frames the shard's nodes put on the air",
+        )
+        registry.counter(
+            "repro_shard_boundary_exports_total", labels=labels,
+            fn=lambda s=stats: s.exports_sent,
+            help="Boundary-crossing frames the shard exported",
+        )
+        registry.counter(
+            "repro_shard_ghosts_injected_total", labels=labels,
+            fn=lambda s=stats: s.ghosts_received,
+            help="Ghost frames re-aired into the shard at window barriers",
+        )
+        registry.counter(
+            "repro_shard_busy_seconds_total", labels=labels,
+            fn=lambda s=stats: s.busy_s,
+            help="Wall-clock seconds spent executing the shard's windows",
+        )
+        registry.counter(
+            "repro_shard_barrier_wait_seconds_total", labels=labels,
+            fn=lambda s=stats: s.barrier_wait_s,
+            help="Wall-clock seconds the shard's worker stalled at window barriers",
+        )
+    registry.gauge(
+        "repro_shard_load_imbalance",
+        fn=result.load_imbalance,
+        help="max/mean busy wall-clock across shards (1.0 = even)",
+    )
+    registry.gauge(
+        "repro_shard_windows_total",
+        fn=lambda r=result: max((s.windows for s in r.stats), default=0),
+        help="Conservative windows the run stepped through",
+    )
+    return registry
+
+
 def instrument_flows(registry: MetricsRegistry, recorder) -> MetricsRegistry:
     """Bind a :class:`~repro.metrics.collect.FlowRecorder` into the
     registry: aggregate PDR, sent/delivered/duplicate counts."""

@@ -313,6 +313,27 @@ class Simulator:
         callback completes. Pending events remain queued."""
         self._stopped = True
 
+    def advance_to(self, barrier: float) -> int:
+        """Run to the conservative window barrier ``barrier`` (absolute
+        simulated time) and land the clock exactly on it.
+
+        The sharded runner (:mod:`repro.sim.shard`) slices one shard's
+        timeline into windows with this: events at or before the barrier
+        fire, the clock is left at exactly ``barrier`` even if the queue
+        drained early (so back-to-back windows observe a continuous
+        timeline), and the number of events executed inside the window
+        comes back for per-shard load accounting.  Barriers must be
+        monotonic — rewinding a shard is always a synchronisation bug,
+        so it raises instead of silently no-opping.
+        """
+        if barrier < self._now:
+            raise SchedulingError(
+                f"window barrier {barrier} is behind the clock {self._now}"
+            )
+        before = self._events_fired
+        self.run(until=barrier)
+        return self._events_fired - before
+
     # ------------------------------------------------------------------
     # Convenience timer helpers
     # ------------------------------------------------------------------

@@ -9,6 +9,7 @@ from repro.obs.instrument import (
     NODE_METRICS,
     instrument_flows,
     instrument_network,
+    instrument_shards,
 )
 from repro.obs.registry import MetricsRegistry
 from repro.topology.placement import line_positions
@@ -74,6 +75,42 @@ class TestInstrumentFlows:
         assert registry.value("repro_flows_sent_total") == 2
         assert registry.value("repro_flows_delivered_total") == 0
         assert registry.value("repro_flows_pdr") == 0.0
+
+
+class TestInstrumentShards:
+    def test_shard_metrics_track_run_result(self):
+        from repro.sim.shard import run_sharded
+
+        result = run_sharded(
+            line_positions(6),
+            shards=2,
+            workers=1,
+            config=FAST,
+            seed=3,
+            converge_timeout_s=1800.0,
+            check_period_s=10.0,
+        )
+        registry = instrument_shards(MetricsRegistry(), result)
+        for stats in result.stats:
+            labels = {"shard": str(stats.shard)}
+            assert registry.value("repro_shard_nodes", labels) == stats.nodes
+            assert registry.value("repro_shard_events_total", labels) == stats.events
+            assert (
+                registry.value("repro_shard_frames_sent_total", labels)
+                == stats.frames_sent
+            )
+            assert (
+                registry.value("repro_shard_boundary_exports_total", labels)
+                == stats.exports_sent
+            )
+            assert (
+                registry.value("repro_shard_ghosts_injected_total", labels)
+                == stats.ghosts_received
+            )
+        assert registry.value("repro_shard_load_imbalance") == result.load_imbalance()
+        assert registry.value("repro_shard_windows_total") == max(
+            s.windows for s in result.stats
+        )
 
 
 class TestTraceDroppedCounter:
