@@ -132,6 +132,56 @@ def test_perf_mesh_hour_run_stored(benchmark, tmp_path):
     assert events > frames  # frames plus routes/markers all landed
 
 
+def test_perf_stream_workload(benchmark):
+    """Stream/flow plane throughput: 200 mixed flows on a BW500 mesh.
+
+    Exercises the full connection stack per message — stream framing,
+    sliding-window release, reliable singles with adaptive RTO, ACK
+    bookkeeping — on a 4x4 grid sized so every flow completes.  Network
+    construction and route convergence stay in setup; the measured
+    region is the two simulated hours the workload runs for."""
+    from repro.phy.modulation import Bandwidth, LoRaParams
+    from repro.phy.regions import UNRESTRICTED
+    from repro.workload.flows import FlowEngine, build_workload
+
+    config = MesherConfig(
+        lora=LoRaParams(bandwidth=Bandwidth.BW500),
+        region=UNRESTRICTED,
+        hello_period_s=120.0,
+        route_timeout_s=7200.0,
+        purge_period_s=900.0,
+        send_queue_capacity=64,
+        stream_window=2,
+    )
+
+    def setup():
+        net = MeshNetwork.from_positions(
+            grid_positions(4, 4, spacing_m=60.0),
+            config=config,
+            seed=9,
+            trace_enabled=False,
+        )
+        assert net.run_until_converged(timeout_s=7200.0) is not None
+        engine = FlowEngine(net)
+        engine.add_flows(
+            build_workload(
+                "mixed", net.addresses, 200, seed=9,
+                messages=3, payload_bytes=32,
+                window_s=3600.0, interval_s=60.0,
+            )
+        )
+        engine.start()
+        return (net, engine), {}
+
+    def run(net, engine):
+        net.run(for_s=7200.0)
+        return engine.summary()
+
+    summary = benchmark.pedantic(run, setup=setup, rounds=3)
+    assert summary.completed == 200
+    assert summary.failed == 0
+
+
 def test_perf_kernel_hotspot_attribution(benchmark):
     """Where the wall-clock actually goes: the profiler's hot-spot table.
 

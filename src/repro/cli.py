@@ -195,6 +195,29 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     convergence = net.run_until_converged(timeout_s=args.duration)
     if recorder is not None and convergence is not None:
         recorder.mark("converged", convergence_s=convergence)
+    engine = None
+    if getattr(args, "workload", None):
+        from repro.workload.flows import FlowEngine, build_workload
+
+        engine = FlowEngine(net)
+        remaining = max(args.duration - net.sim.now, 60.0)
+        engine.add_flows(
+            build_workload(
+                args.workload,
+                [node.address for node in net.nodes],
+                args.flows,
+                seed=args.seed,
+                messages=args.flow_messages,
+                payload_bytes=args.flow_payload,
+                window_s=remaining / 2.0,
+            )
+        )
+        engine.start()
+        if recorder is not None:
+            # The engine's managers were created after the recorder
+            # tapped the nodes; watch them so stream rows land too.
+            for manager in engine.managers():
+                recorder.watch_stream_manager(manager)
     remaining = args.duration - net.sim.now
     if remaining > 0:
         net.run(for_s=remaining)
@@ -229,6 +252,55 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if engine is not None:
+        from repro.obs import MetricsRegistry as _Registry
+        from repro.obs.instrument import instrument_flow_engine
+
+        flow_registry = instrument_flow_engine(_Registry(), engine)
+
+        def _pct(kind: str, q: int) -> str:
+            value = flow_registry.value(
+                "repro_workload_latency_seconds", {"kind": kind, "quantile": str(q)}
+            )
+            return f"{value:.2f}" if value else "-"
+
+        summary = engine.summary()
+        flow_rows = [
+            (
+                ks.kind,
+                ks.flows,
+                ks.completed,
+                ks.failed,
+                _pct(ks.kind, 50),
+                _pct(ks.kind, 95),
+                _pct(ks.kind, 99),
+                f"{ks.goodput_p50_bps:.1f}" if ks.goodput_p50_bps else "-",
+            )
+            for ks in summary.kinds
+        ]
+        flow_rows.append(
+            (
+                "all",
+                summary.flows,
+                summary.completed,
+                summary.failed,
+                _pct("all", 50),
+                _pct("all", 95),
+                _pct("all", 99),
+                f"{g:.1f}" if (g := engine.goodput_percentile(50)) else "-",
+            )
+        )
+        print()
+        print(
+            format_table(
+                ["kind", "flows", "done", "failed", "p50 (s)", "p95 (s)", "p99 (s)", "goodput p50 (bps)"],
+                flow_rows,
+                title=(
+                    f"workload {args.workload}: {summary.flows} flows, "
+                    f"delivery ratio {summary.delivery_ratio:.3f}"
+                ),
+            )
+        )
     if capture is not None:
         path = capture.export_jsonl(args.capture)
         print(f"\nair capture: {len(capture)} frames written to {path}")
@@ -607,6 +679,13 @@ def _format_event(event, format_address) -> str:
         return f"registry sample ({len(data.get('values', {}))} series)"
     if event.kind == "marker":
         return f"-- {data.get('phase', '?')} --"
+    if event.kind == "stream":
+        side = "init" if data.get("initiator") else "resp"
+        return (
+            f"{node} stream {data['event']:<9} "
+            f"peer={format_address(data['peer'])} id={data['stream']} "
+            f"{side} seq={data['seq']}"
+        )
     return str(data)
 
 
@@ -685,6 +764,23 @@ def build_parser() -> argparse.ArgumentParser:
         "into a SQLite event store at PATH (serve it with `repro serve`)",
     )
     simulate.add_argument(
+        "--workload", choices=("bursty", "ota", "chat", "mixed"), default=None,
+        help="drive a stream-flow workload over the converged mesh and "
+        "report per-flow latency/goodput percentiles",
+    )
+    simulate.add_argument(
+        "--flows", type=int, default=100,
+        help="concurrent flows for --workload (default: 100)",
+    )
+    simulate.add_argument(
+        "--flow-messages", type=int, default=3,
+        help="messages per flow for --workload (default: 3)",
+    )
+    simulate.add_argument(
+        "--flow-payload", type=int, default=32,
+        help="payload bytes per message for --workload (default: 32)",
+    )
+    simulate.add_argument(
         "--shards", type=int, default=1,
         help="partition the mesh into N spatial strips and run them on "
         "the sharded multi-process runner (default: 1 = serial)",
@@ -733,7 +829,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--kind", action="append", default=None,
-        choices=("frame", "route", "forward", "delivery", "violation", "sample", "trace", "marker"),
+        choices=("frame", "route", "forward", "delivery", "violation", "sample", "trace", "marker", "stream"),
         help="only replay these event kinds (repeatable; default: all)",
     )
     replay.add_argument(

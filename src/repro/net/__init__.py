@@ -17,6 +17,8 @@ Layout
 * :mod:`repro.net.hello` — periodic routing-table dissemination,
 * :mod:`repro.net.forwarding` — the data plane (via-based hop forwarding),
 * :mod:`repro.net.reliable` — large-payload SYNC/XL_DATA/LOST/ACK streams,
+* :mod:`repro.net.stream` — connection-oriented streams (SYN/OPEN/FIN)
+  with sliding-window flow control over the reliable transport,
 * :mod:`repro.net.mesher` — the node service tying it all together,
 * :mod:`repro.net.api` — the public application-facing API.
 """
@@ -34,6 +36,7 @@ from repro.net.packets import (
     XLDataPacket,
 )
 from repro.net.routing_table import RouteEntry, RoutingTable, make_routing_table
+from repro.net.stream import Stream, StreamManager, StreamState, StreamStats
 from repro.net.api import AppMessage, MeshNode, MeshNetwork
 
 __all__ = [
@@ -55,4 +58,8 @@ __all__ = [
     "MeshNode",
     "MeshNetwork",
     "AppMessage",
+    "Stream",
+    "StreamManager",
+    "StreamState",
+    "StreamStats",
 ]

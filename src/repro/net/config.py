@@ -83,6 +83,37 @@ class MesherConfig:
     #: Maximum concurrent inbound reliable streams tracked per node.
     max_inbound_streams: int = 8
 
+    # --- retransmit timer policy ----------------------------------------
+    #: Exponential growth factor applied to the retransmit timeout per
+    #: consecutive on-air retry of the same single/stream.  1.0 restores
+    #: the historical fixed-interval timer (every retry waits exactly the
+    #: base timeout) — with ``retry_jitter_fraction=0`` and
+    #: ``adaptive_rto=False`` the schedule is bit-identical to the
+    #: pre-backoff implementation.
+    retry_backoff_base: float = 2.0
+    #: Upper bound on a single backed-off retransmit wait (seconds); the
+    #: cap only limits growth, it never shrinks the base timeout.
+    retry_backoff_cap_s: float = 120.0
+    #: Deterministic per-attempt jitter, +/- this fraction of the
+    #: timeout.  Drawn from a hash of (address, seq, attempt), not from a
+    #: shared RNG stream, so enabling it perturbs nothing else.  Breaks
+    #: the lock-step retransmission of flows that timed out together.
+    retry_jitter_fraction: float = 0.25
+    #: Use per-destination SRTT/RTTVAR (RFC 6298 style) as the base
+    #: retransmit timeout once ACK round-trips have been sampled;
+    #: ``ack_timeout_s`` remains the cold-start value and the upper clamp.
+    adaptive_rto: bool = True
+    #: Local failures (no route yet, TX queue full) consume this separate
+    #: budget instead of ``max_retries``: the frame never aired, so a
+    #: transient queue spike must not exhaust the on-air retry budget.
+    #: Local re-checks wait the un-backed-off base timeout.
+    max_local_defers: int = 25
+
+    # --- stream layer ---------------------------------------------------
+    #: Sliding-window size of the connection-oriented stream layer: max
+    #: reliable messages in flight per stream before send() queues.
+    stream_window: int = 4
+
     # --- roles -----------------------------------------------------------
     #: Role bits this node advertises (see packets.NodeRole).
     role: int = 0
@@ -111,6 +142,16 @@ class MesherConfig:
             raise ValueError("timeouts must be positive")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_base < 1.0:
+            raise ValueError("retry_backoff_base must be >= 1.0 (1.0 disables backoff)")
+        if self.retry_backoff_cap_s <= 0:
+            raise ValueError("retry_backoff_cap_s must be positive")
+        if not 0 <= self.retry_jitter_fraction < 1:
+            raise ValueError("retry_jitter_fraction must be in [0, 1)")
+        if self.max_local_defers < 0:
+            raise ValueError("max_local_defers must be >= 0")
+        if self.stream_window < 1:
+            raise ValueError("stream_window must be >= 1")
 
     def replace(self, **changes) -> "MesherConfig":
         """Copy with the given fields replaced."""

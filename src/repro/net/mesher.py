@@ -170,6 +170,11 @@ class MesherNode:
         #: ``(message)`` on every application-layer delivery, before the
         #: inbox push (fires even when the inbox would overflow).
         self.on_app_delivery: Optional[Callable[[AppMessage], None]] = None
+        #: ``(src, payload) -> bool`` consume hook ahead of the reliable
+        #: inbox path: a protocol layered on the reliable transport (the
+        #: stream layer) returns True to claim the payload, and the
+        #: message never reaches the application inbox.
+        self.on_reliable_consume: Optional[Callable[[int, bytes], bool]] = None
 
         self.stats = NodeStats()
         self._pump_handle: Optional[EventHandle] = None
@@ -473,6 +478,8 @@ class MesherNode:
             logger.warning("%s: unhandled packet %r", self.name, packet)
 
     def _deliver_reliable(self, src: int, payload: bytes) -> None:
+        if self.on_reliable_consume is not None and self.on_reliable_consume(src, payload):
+            return
         self._deliver_app(
             AppMessage(src=src, payload=payload, received_at=self.sim.now, reliable=True)
         )

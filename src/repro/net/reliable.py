@@ -19,6 +19,7 @@ outgoing packets through the ``enqueue`` callable.
 
 from __future__ import annotations
 
+import hashlib
 import logging
 import random
 from dataclasses import dataclass, field
@@ -57,6 +58,41 @@ def split_payload(payload: bytes, fragment_size: int) -> List[bytes]:
     return [payload[i : i + fragment_size] for i in range(0, len(payload), fragment_size)]
 
 
+class RttEstimator:
+    """Per-destination round-trip estimator (RFC 6298 style).
+
+    ``observe`` feeds one clean ACK round-trip (Karn's rule: retransmitted
+    attempts are never sampled — the ACK could match either copy); ``rto``
+    is the classic ``SRTT + 4·RTTVAR``.  Clamping to the configured
+    cold-start timeout happens at the call site so the estimator itself
+    stays policy-free.
+    """
+
+    __slots__ = ("srtt", "rttvar", "samples")
+
+    ALPHA = 0.125
+    BETA = 0.25
+
+    def __init__(self) -> None:
+        self.srtt = 0.0
+        self.rttvar = 0.0
+        self.samples = 0
+
+    def observe(self, sample_s: float) -> None:
+        if sample_s < 0:
+            return
+        if self.samples == 0:
+            self.srtt = sample_s
+            self.rttvar = sample_s / 2.0
+        else:
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(self.srtt - sample_s)
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * sample_s
+        self.samples += 1
+
+    def rto(self) -> float:
+        return self.srtt + 4.0 * self.rttvar
+
+
 @dataclass
 class _OutboundSingle:
     """State of one in-flight NEED_ACK packet."""
@@ -66,6 +102,13 @@ class _OutboundSingle:
     payload: bytes
     on_complete: Optional[CompletionFn]
     retries: int = 0
+    #: Local failures (no route / TX queue full) since the send started;
+    #: charged against ``max_local_defers``, never ``max_retries``.
+    local_defers: int = 0
+    #: Whether the most recent attempt actually reached the send queue.
+    airborne: bool = False
+    first_tx_at: Optional[float] = None
+    retransmitted: bool = False
     timer: Optional[EventHandle] = None
 
 
@@ -80,6 +123,7 @@ class _OutboundStream:
     on_complete: Optional[CompletionFn]
     next_index: int = 0  # next fresh fragment to send
     retries: int = 0
+    local_defers: int = 0
     pace_timer: Optional[EventHandle] = None
     ack_timer: Optional[EventHandle] = None
     retransmit_queue: List[int] = field(default_factory=list)
@@ -123,6 +167,12 @@ class ReliableTransport:
     DEDUP_WINDOW_S = 600.0
     #: Missing fragments reported per receiver gap timeout.
     MAX_LOSTS_PER_GAP = 4
+    #: Floor for the adaptive RTO: even a one-hop SF7 exchange with a
+    #: tiny measured RTT must leave room for CSMA backoff and forwarding.
+    MIN_RTO_S = 1.0
+    #: Ceiling on the backoff exponent (2**32 of any base already dwarfs
+    #: every cap; this just keeps the float arithmetic sane).
+    MAX_BACKOFF_EXP = 32
 
     def __init__(
         self,
@@ -158,6 +208,10 @@ class ReliableTransport:
         #: exactly-once delivery per (receiver, src, seq).
         self.on_deliver: Optional[Callable[[int, int, str], None]] = None
 
+        #: Per-destination SRTT/RTTVAR estimators feeding the adaptive
+        #: retransmit timer (config.adaptive_rto).
+        self._rtt: Dict[int, RttEstimator] = {}
+
         # Counters
         self.streams_started = 0
         self.streams_completed = 0
@@ -167,9 +221,80 @@ class ReliableTransport:
         self.singles_failed = 0
         self.fragments_sent = 0
         self.retransmissions = 0
+        self.local_defers = 0
+        self.rtt_samples = 0
         self.losts_sent = 0
         self.acks_sent = 0
         self.duplicates_suppressed = 0
+
+    # ==================================================================
+    # Retransmit timer policy
+    # ==================================================================
+    def rto_s(self, dst: int) -> float:
+        """Current base retransmit timeout towards ``dst`` (seconds)."""
+        cfg = self._config
+        if cfg.adaptive_rto:
+            est = self._rtt.get(dst)
+            if est is not None and est.samples:
+                # Adaptive between the floor and the configured cold-start
+                # timeout: measured paths retransmit sooner, never later.
+                return min(max(est.rto(), self.MIN_RTO_S), cfg.ack_timeout_s)
+        return cfg.ack_timeout_s
+
+    def srtt_s(self, dst: int) -> Optional[float]:
+        """Smoothed RTT towards ``dst``, or None before the first sample."""
+        est = self._rtt.get(dst)
+        return est.srtt if est is not None and est.samples else None
+
+    def observe_rtt(self, dst: int, sample_s: float) -> None:
+        """Feed one clean ACK round-trip into the per-destination estimator."""
+        est = self._rtt.get(dst)
+        if est is None:
+            est = self._rtt[dst] = RttEstimator()
+        est.observe(sample_s)
+        self.rtt_samples += 1
+
+    def _retry_timeout_s(self, dst: int, attempt: int, token: str) -> float:
+        """Wait before the next retransmission check.
+
+        ``attempt`` is the number of on-air retries already consumed:
+        exponential in ``retry_backoff_base`` (capped), with deterministic
+        hash-derived jitter.  With backoff base 1.0, zero jitter, and
+        ``adaptive_rto=False`` this returns exactly ``ack_timeout_s`` —
+        the historical fixed-interval schedule, bit for bit.
+        """
+        cfg = self._config
+        timeout = self.rto_s(dst)
+        if cfg.retry_backoff_base > 1.0 and attempt > 0:
+            grown = timeout * cfg.retry_backoff_base ** min(attempt, self.MAX_BACKOFF_EXP)
+            timeout = min(grown, max(cfg.retry_backoff_cap_s, timeout))
+        if cfg.retry_jitter_fraction > 0.0:
+            timeout *= 1.0 + cfg.retry_jitter_fraction * (2.0 * self._jitter_unit(token) - 1.0)
+        return timeout
+
+    def _defer_timeout_s(self, token: str) -> float:
+        """Wait before re-checking a locally failed attempt.
+
+        Local failures (no route, TX queue full) are not congestion
+        signals, so they never back off — but recovery takes a hello
+        cycle, so re-checks run on the configured (not adaptive) timeout,
+        jittered to desynchronise route-recovery stampedes.
+        """
+        cfg = self._config
+        timeout = cfg.ack_timeout_s
+        if cfg.retry_jitter_fraction > 0.0:
+            timeout *= 1.0 + cfg.retry_jitter_fraction * (2.0 * self._jitter_unit(token) - 1.0)
+        return timeout
+
+    def _jitter_unit(self, token: str) -> float:
+        """Deterministic uniform [0, 1) from (node address, token).
+
+        A hash draw rather than a shared RNG stream: the jitter of one
+        retry can never shift any other subsystem's random sequence, so
+        runs stay replayable and the disabled path stays untouched.
+        """
+        digest = hashlib.sha256(f"{self._address:#06x}|{token}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
 
     # ==================================================================
     # Sending
@@ -220,16 +345,27 @@ class ReliableTransport:
                 payload=state.payload,
             )
         ):
-            # No route or queue full: treat as a failed attempt and retry.
+            # No route or queue full: the frame never aired.  Re-check on
+            # the timer, but charge the local-defer budget, not the on-air
+            # retry budget (see _single_timeout).
+            state.airborne = False
             self._arm_single_timer(state)
             return
+        state.airborne = True
+        if state.first_tx_at is None:
+            state.first_tx_at = self._sim.now
         self._arm_single_timer(state)
 
     def _arm_single_timer(self, state: _OutboundSingle) -> None:
         if state.timer is not None:
             state.timer.cancel()
+        token = f"single|{state.seq_id}|{state.retries}|{state.local_defers}"
+        if state.airborne:
+            timeout = self._retry_timeout_s(state.dst, state.retries, token)
+        else:
+            timeout = self._defer_timeout_s(token)
         state.timer = self._sim.schedule(
-            self._config.ack_timeout_s,
+            timeout,
             lambda: self._single_timeout(state),
             label=f"needack#{state.seq_id} timeout",
         )
@@ -237,17 +373,31 @@ class ReliableTransport:
     def _single_timeout(self, state: _OutboundSingle) -> None:
         if state.seq_id not in self._singles:
             return
-        state.retries += 1
-        if state.retries > self._config.max_retries:
-            del self._singles[state.seq_id]
-            self.singles_failed += 1
-            self._record(EventKind.STREAM_FAILED, seq_id=state.seq_id, dst=state.dst, variant="single")
-            self._complete(state.on_complete, False, "ack timeout")
-            return
-        self.retransmissions += 1
-        self._record(
-            EventKind.FRAGMENT_RETRANSMITTED, seq_id=state.seq_id, dst=state.dst, variant="single"
-        )
+        if state.airborne:
+            state.retries += 1
+            state.retransmitted = True
+            if state.retries > self._config.max_retries:
+                del self._singles[state.seq_id]
+                self.singles_failed += 1
+                self._record(EventKind.STREAM_FAILED, seq_id=state.seq_id, dst=state.dst, variant="single")
+                self._complete(state.on_complete, False, "ack timeout")
+                return
+            self.retransmissions += 1
+            self._record(
+                EventKind.FRAGMENT_RETRANSMITTED, seq_id=state.seq_id, dst=state.dst, variant="single"
+            )
+        else:
+            # The last attempt failed locally — nothing aired, so nothing
+            # was lost on air.  Separate budget: a transient queue spike
+            # must not burn max_retries without a single transmission.
+            state.local_defers += 1
+            self.local_defers += 1
+            if state.local_defers > self._config.max_local_defers:
+                del self._singles[state.seq_id]
+                self.singles_failed += 1
+                self._record(EventKind.STREAM_FAILED, seq_id=state.seq_id, dst=state.dst, variant="single")
+                self._complete(state.on_complete, False, "no route")
+                return
         self._transmit_single(state)
 
     # ------------------------------------------------------------------
@@ -295,11 +445,11 @@ class ReliableTransport:
             )
         )
 
-    def _arm_pace_timer(self, state: _OutboundStream) -> None:
+    def _arm_pace_timer(self, state: _OutboundStream, delay_s: Optional[float] = None) -> None:
         if state.pace_timer is not None:
             state.pace_timer.cancel()
         state.pace_timer = self._sim.schedule(
-            self._config.fragment_spacing_s,
+            self._config.fragment_spacing_s if delay_s is None else delay_s,
             lambda: self._pace_tick(state),
             label=f"stream#{state.seq_id} pace",
         )
@@ -315,20 +465,38 @@ class ReliableTransport:
             index = state.next_index
             state.next_index += 1
         if index is not None:
-            self._send_fragment(state, index)
+            aired = self._send_fragment(state, index)
+            if state.seq_id not in self._streams:
+                return  # the local-defer budget ran out; stream failed
+            if not aired:
+                # Locally deferred: re-check on the defer cadence, not the
+                # fragment pacing cadence — burning one defer per pace
+                # tick would exhaust the budget in seconds.
+                self._arm_pace_timer(
+                    state,
+                    delay_s=max(
+                        self._config.fragment_spacing_s,
+                        self._defer_timeout_s(
+                            f"streamdefer|{state.seq_id}|{state.retries}|{state.local_defers}"
+                        ),
+                    ),
+                )
+                return
         if state.all_sent:
             self._arm_ack_timer(state)
         else:
             self._arm_pace_timer(state)
 
-    def _send_fragment(self, state: _OutboundStream, index: int) -> None:
+    def _send_fragment(self, state: _OutboundStream, index: int) -> bool:
+        """Try to queue fragment ``index``; returns True if it aired."""
         via = self._route_via(state.dst)
         if via is None:
-            # Route vanished mid-stream: count as a retry and re-queue.
+            # Route vanished mid-stream: re-queue and defer locally —
+            # nothing aired, so the on-air retry budget is untouched.
             state.retransmit_queue.insert(0, index)
-            self._register_stream_retry(state, "no route")
-            return
-        self._enqueue(
+            self._register_stream_retry(state, "no route", local=True)
+            return False
+        if not self._enqueue(
             XLDataPacket(
                 dst=state.dst,
                 src=self._address,
@@ -337,15 +505,26 @@ class ReliableTransport:
                 number=index,
                 payload=state.fragments[index],
             )
-        )
+        ):
+            # TX queue full: the fragment was silently dropped before the
+            # air.  Re-queue it instead of relying on the receiver's gap
+            # chase to notice, and charge the local-defer budget.
+            state.retransmit_queue.insert(0, index)
+            self._register_stream_retry(state, "tx queue full", local=True)
+            return False
         self.fragments_sent += 1
         self._record(EventKind.FRAGMENT_SENT, seq_id=state.seq_id, index=index, dst=state.dst)
+        return True
 
     def _arm_ack_timer(self, state: _OutboundStream) -> None:
         if state.ack_timer is not None:
             state.ack_timer.cancel()
         state.ack_timer = self._sim.schedule(
-            self._config.ack_timeout_s,
+            self._retry_timeout_s(
+                state.dst,
+                state.retries,
+                f"stream|{state.seq_id}|{state.retries}|{state.local_defers}",
+            ),
             lambda: self._stream_ack_timeout(state),
             label=f"stream#{state.seq_id} acktimer",
         )
@@ -363,15 +542,28 @@ class ReliableTransport:
             state.retransmit_queue.append(last)
         self._register_stream_retry(state, "ack timeout")
 
-    def _register_stream_retry(self, state: _OutboundStream, reason: str) -> None:
-        state.retries += 1
-        if state.retries > self._config.max_retries:
-            self._fail_stream(state, reason)
+    def _register_stream_retry(
+        self, state: _OutboundStream, reason: str, *, local: bool = False
+    ) -> None:
+        if local:
+            # The frame never aired (no route / TX queue full): charge the
+            # local-defer budget — the on-air retry budget is reserved for
+            # losses the receiver could have seen.  The caller (_pace_tick)
+            # owns the re-check cadence.
+            state.local_defers += 1
+            self.local_defers += 1
+            if state.local_defers > self._config.max_local_defers:
+                self._fail_stream(state, reason)
             return
-        self.retransmissions += 1
-        self._record(
-            EventKind.FRAGMENT_RETRANSMITTED, seq_id=state.seq_id, dst=state.dst, reason=reason
-        )
+        else:
+            state.retries += 1
+            if state.retries > self._config.max_retries:
+                self._fail_stream(state, reason)
+                return
+            self.retransmissions += 1
+            self._record(
+                EventKind.FRAGMENT_RETRANSMITTED, seq_id=state.seq_id, dst=state.dst, reason=reason
+            )
         if state.pace_timer is None:
             self._arm_pace_timer(state)
 
@@ -484,6 +676,10 @@ class ReliableTransport:
         if single is not None:
             if single.timer is not None:
                 single.timer.cancel()
+            if not single.retransmitted and single.first_tx_at is not None:
+                # Karn's rule: only un-retransmitted exchanges yield an
+                # unambiguous round-trip sample.
+                self.observe_rtt(single.dst, self._sim.now - single.first_tx_at)
             self.singles_completed += 1
             self._complete(single.on_complete, True, "acked")
             return

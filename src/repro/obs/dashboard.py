@@ -482,7 +482,7 @@ function connect(url, label) {
   $("#status").className = label;
   $("#status").textContent = label;
   source = new EventSource(url);
-  for (const kind of ["frame", "route", "forward", "delivery", "violation", "sample", "trace", "marker"])
+  for (const kind of ["frame", "route", "forward", "delivery", "violation", "sample", "trace", "marker", "stream"])
     source.addEventListener(kind, onEvent);
   source.addEventListener("end", () => {
     $("#status").className = "done";

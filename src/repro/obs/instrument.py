@@ -258,3 +258,91 @@ def instrument_flows(registry: MetricsRegistry, recorder) -> MetricsRegistry:
         help="Aggregate packet-delivery ratio (0..1)",
     )
     return registry
+
+
+#: Metric names registered by :func:`instrument_flow_engine`.
+FLOW_ENGINE_METRICS = (
+    "repro_workload_flows_total",
+    "repro_workload_flows_active",
+    "repro_workload_flows_completed_total",
+    "repro_workload_flows_failed_total",
+    "repro_workload_messages_sent_total",
+    "repro_workload_messages_delivered_total",
+    "repro_workload_bytes_delivered_total",
+    "repro_workload_latency_seconds",
+    "repro_workload_goodput_bps",
+    "repro_workload_streams_opened_total",
+    "repro_workload_streams_reset_total",
+)
+
+
+def instrument_flow_engine(registry: MetricsRegistry, engine) -> MetricsRegistry:
+    """Bind a :class:`~repro.workload.flows.FlowEngine` into the registry.
+
+    Lifecycle counters plus per-kind/per-quantile latency and goodput
+    gauges — all callback-backed, so a snapshot taken mid-run reports
+    the percentiles over deliveries seen *so far*.
+    """
+    from repro.workload.flows import WORKLOAD_KINDS
+
+    registry.gauge(
+        "repro_workload_flows_total",
+        fn=lambda e=engine: len(e.flows),
+        help="Flows registered with the engine",
+    )
+    registry.gauge(
+        "repro_workload_flows_active",
+        fn=lambda e=engine: e.flows_active,
+        help="Flows started and not yet closed",
+    )
+    registry.counter(
+        "repro_workload_flows_completed_total",
+        fn=lambda e=engine: e.flows_completed,
+        help="Flows that closed cleanly (FIN)",
+    )
+    registry.counter(
+        "repro_workload_flows_failed_total",
+        fn=lambda e=engine: e.flows_failed,
+        help="Flows that died on SYN failure or mid-stream reset",
+    )
+    registry.counter(
+        "repro_workload_messages_sent_total",
+        fn=lambda e=engine: e.messages_sent,
+        help="Application messages queued on streams",
+    )
+    registry.counter(
+        "repro_workload_messages_delivered_total",
+        fn=lambda e=engine: e.messages_delivered,
+        help="Application messages delivered in order, exactly once",
+    )
+    registry.counter(
+        "repro_workload_bytes_delivered_total",
+        fn=lambda e=engine: e.bytes_delivered,
+        help="Application payload bytes delivered",
+    )
+    registry.counter(
+        "repro_workload_streams_opened_total",
+        fn=lambda e=engine: e.stream_counter_total("streams_opened"),
+        help="Streams opened across every instrumented node",
+    )
+    registry.counter(
+        "repro_workload_streams_reset_total",
+        fn=lambda e=engine: e.stream_counter_total("streams_reset"),
+        help="Streams torn down by RESET across every instrumented node",
+    )
+    for kind in ("all",) + WORKLOAD_KINDS:
+        kind_arg = None if kind == "all" else kind
+        for q in (50, 95, 99):
+            registry.gauge(
+                "repro_workload_latency_seconds",
+                labels={"kind": kind, "quantile": str(q)},
+                fn=lambda e=engine, q=q, k=kind_arg: e.latency_percentile(q, k) or 0.0,
+                help="Per-message delivery latency percentile (sim seconds)",
+            )
+        registry.gauge(
+            "repro_workload_goodput_bps",
+            labels={"kind": kind, "quantile": "50"},
+            fn=lambda e=engine, k=kind_arg: e.goodput_percentile(50, k) or 0.0,
+            help="Median per-flow goodput (payload bits per sim second)",
+        )
+    return registry

@@ -59,6 +59,7 @@ __all__ = [
     "KIND_SAMPLE",
     "KIND_TRACE",
     "KIND_MARKER",
+    "KIND_STREAM",
 ]
 
 SCHEMA_VERSION = 1
@@ -73,6 +74,7 @@ KIND_VIOLATION = "violation"  # confirmed invariant violation
 KIND_SAMPLE = "sample"  # one flattened registry snapshot
 KIND_TRACE = "trace"  # raw protocol trace event (when tracing is on)
 KIND_MARKER = "marker"  # run lifecycle (started / converged / finished)
+KIND_STREAM = "stream"  # stream lifecycle/delivery event at one node
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -720,6 +722,9 @@ class StoreRecorder:
             node.on_forward_decision,
             node.on_app_delivery,
         )
+        manager = getattr(node, "stream_manager", None)
+        if manager is not None:
+            self.watch_stream_manager(manager)
         prev_route = node.on_route_event
         prev_forward = node.on_forward_decision
         prev_delivery = node.on_app_delivery
@@ -745,6 +750,37 @@ class StoreRecorder:
         node.on_route_event = route_event
         node.on_forward_decision = forward_decision
         node.on_app_delivery = app_delivery
+
+    def watch_stream_manager(self, manager) -> None:
+        """Record a :class:`~repro.net.stream.StreamManager`'s lifecycle
+        and delivery events as ``KIND_STREAM`` rows, chaining any
+        previously installed tap (the invariant checker composes the
+        same way).  Call for managers created *after* :meth:`attach`;
+        managers already present at attach time are tapped automatically.
+        """
+        prev = manager.on_stream_event
+        address = manager.node.address
+
+        def stream_event(kind, peer, stream_id, initiator_side, msg_seq,
+                         _prev=prev, _address=address):
+            if self._active:
+                self.store.append(
+                    self.net.sim.now,
+                    KIND_STREAM,
+                    {
+                        "event": kind,
+                        "peer": peer,
+                        "stream": stream_id,
+                        "initiator": bool(initiator_side),
+                        "seq": msg_seq,
+                    },
+                    node=_address,
+                    wall=self._wall(),
+                )
+            if _prev is not None:
+                _prev(kind, peer, stream_id, initiator_side, msg_seq)
+
+        manager.on_stream_event = stream_event
 
     # ------------------------------------------------------------------
     # Event builders

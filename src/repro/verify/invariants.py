@@ -51,6 +51,18 @@ Invariant classes
     No node's trailing-window airtime utilisation exceeds its regional
     cap.
 
+``STREAM_ORDERING`` (hard)
+    The connection-oriented stream layer delivers every stream's
+    messages to the application strictly in order, exactly once, with no
+    gaps: per ``(receiver, peer, stream id)`` the delivered message
+    sequence is exactly 0, 1, 2, …  A stream-level duplicate drop is
+    also a violation — it means the transport's exactly-once contract
+    underneath broke.  Tap-driven via
+    :attr:`~repro.net.stream.StreamManager.on_stream_event`; stream
+    managers attached to nodes before :meth:`InvariantChecker.attach`
+    are discovered automatically, later ones can be wired with
+    :meth:`InvariantChecker.watch_stream_manager`.
+
 Violations raise :class:`InvariantViolation` in strict mode (set
 ``REPRO_STRICT_INVARIANTS=1`` or pass ``strict=True``) and are always
 collected on :attr:`InvariantChecker.violations` and exported through
@@ -81,7 +93,7 @@ STRICT_ENV = "REPRO_STRICT_INVARIANTS"
 
 
 class Invariant(enum.Enum):
-    """The six audited invariant classes."""
+    """The seven audited invariant classes."""
 
     ROUTING_LOOP = "routing_loop"
     VIA_CONSISTENCY = "via_consistency"
@@ -89,6 +101,7 @@ class Invariant(enum.Enum):
     EXACTLY_ONCE = "exactly_once"
     CONSERVATION = "conservation"
     DUTY_CYCLE = "duty_cycle"
+    STREAM_ORDERING = "stream_ordering"
 
 
 @dataclass(frozen=True)
@@ -188,6 +201,9 @@ class InvariantChecker:
         self._monotone_seen: Dict[Tuple[int, int], _Persistence] = {}
         # Exactly-once ledger: (receiver, src, seq_id, kind) -> last time.
         self._deliveries: Dict[Tuple[int, int, int, str], float] = {}
+        # Stream-ordering ledger: (receiver, peer, stream_id, side) ->
+        # next expected message sequence.
+        self._stream_next: Dict[Tuple[int, int, int, bool], int] = {}
         self._counters: Dict[Invariant, object] = {}
         self._saved_taps: Dict[int, tuple] = {}
         if registry is not None:
@@ -288,6 +304,28 @@ class InvariantChecker:
         node.on_forward_decision = forward_decision
         node.reliable.on_deliver = deliver
 
+        manager = getattr(node, "stream_manager", None)
+        if manager is not None:
+            self.watch_stream_manager(manager)
+
+    def watch_stream_manager(self, manager) -> None:
+        """Chain onto a :class:`~repro.net.stream.StreamManager` tap and
+        audit its deliveries against STREAM_ORDERING.
+
+        Needed explicitly only for managers created after
+        :meth:`attach`; pre-existing ones are discovered via the node's
+        ``stream_manager`` attribute.
+        """
+        receiver = manager._node.address
+        prev = manager.on_stream_event
+
+        def stream_event(kind, peer, stream_id, side, msg_seq, _prev=prev):
+            self._on_stream_event(receiver, kind, peer, stream_id, side, msg_seq)
+            if _prev is not None:
+                _prev(kind, peer, stream_id, side, msg_seq)
+
+        manager.on_stream_event = stream_event
+
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
@@ -355,6 +393,38 @@ class InvariantChecker:
             self._deliveries = {
                 k: t for k, t in self._deliveries.items() if t >= horizon
             }
+
+    def _on_stream_event(
+        self, receiver: int, kind: str, peer: int, stream_id: int, side: bool, msg_seq: int
+    ) -> None:
+        key = (receiver, peer, stream_id, side)
+        if kind == "deliver":
+            expected = self._stream_next.get(key, 0)
+            if msg_seq != expected:
+                what = "duplicate/regression" if msg_seq < expected else "gap"
+                self._violate(
+                    Invariant.STREAM_ORDERING,
+                    receiver,
+                    f"stream (peer=0x{peer:04X}, id={stream_id}) delivered "
+                    f"seq {msg_seq}, expected {expected} ({what})",
+                )
+                # Resynchronise so counted mode reports each break once.
+                self._stream_next[key] = max(expected, msg_seq + 1)
+                return
+            self._stream_next[key] = expected + 1
+        elif kind == "duplicate":
+            self._violate(
+                Invariant.STREAM_ORDERING,
+                receiver,
+                f"stream (peer=0x{peer:04X}, id={stream_id}) dropped a "
+                f"duplicate of seq {msg_seq} — the transport delivered it twice",
+            )
+        elif kind in ("open", "accept"):
+            self._stream_next[key] = 0
+        elif kind in ("close", "reset"):
+            # Ids are reusable after teardown; a successor stream starts
+            # its sequence space fresh.
+            self._stream_next.pop(key, None)
 
     # ------------------------------------------------------------------
     # Periodic full audit

@@ -6,6 +6,14 @@ each datagram carries a :mod:`probe <repro.workload.probes>` header
 deliveries to sends and compute PDR and latency without global state.
 """
 
+from repro.workload.flows import (
+    FlowEngine,
+    FlowSpec,
+    FlowState,
+    WORKLOAD_KINDS,
+    WorkloadSummary,
+    build_workload,
+)
 from repro.workload.probes import PROBE_OVERHEAD, make_probe, parse_probe, Probe
 from repro.workload.traffic import PeriodicSender, PoissonSender
 
@@ -16,4 +24,10 @@ __all__ = [
     "PROBE_OVERHEAD",
     "PeriodicSender",
     "PoissonSender",
+    "FlowEngine",
+    "FlowSpec",
+    "FlowState",
+    "WorkloadSummary",
+    "build_workload",
+    "WORKLOAD_KINDS",
 ]

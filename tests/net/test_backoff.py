@@ -1,0 +1,182 @@
+"""Adaptive retransmit timers: backoff, jitter, RTT estimation.
+
+The bugfix this file guards: the reliable transport used to re-arm every
+ACK timer at a fixed ``ack_timeout_s``, so under a loss burst all
+in-flight exchanges retransmitted in lock-step at the worst possible
+cadence — each retry colliding with the last one's ACK.  The transport
+now backs off exponentially with deterministic per-token jitter and an
+RFC-6298 RTT estimator, and the historical fixed-timer schedule is
+recoverable bit-for-bit by disabling all three knobs.
+
+``GOLDEN_*`` below was captured on the pre-backoff transport (fixed
+timer).  The disabled-config test proves the refactor is a strict
+superset of the old behaviour; the paired test proves the default
+config retransmits *less* under the same burst-loss script.
+"""
+
+import random
+
+import pytest
+
+from repro.net.api import MeshNetwork
+from repro.net.config import MesherConfig
+from repro.net.reliable import ReliableTransport, RttEstimator
+from repro.sim.shard import network_fingerprint
+from repro.topology.placement import line_positions
+from repro.verify.faults import BurstLoss, FaultInjector, FaultPlan
+
+FAST = MesherConfig(hello_period_s=30.0, route_timeout_s=120.0, purge_period_s=15.0)
+
+#: Fixed-timer behaviour, frozen before the backoff change: the three
+#: knobs that must, together, reproduce the historical schedule.
+FIXED = FAST.replace(retry_backoff_base=1.0, retry_jitter_fraction=0.0, adaptive_rto=False)
+
+#: Captured from the pre-backoff transport on the scenario below.
+GOLDEN_DIGEST = "8526fce2677829b293f2813dff5342afeff3d22df4f4d32f49c6271bd6db054b"
+GOLDEN_FRAMES = 810
+GOLDEN_RETRANSMISSIONS = 80
+GOLDEN_OUTCOMES = [(False, "ack timeout"), (True, "acked"), (True, "acked"), (True, "acked")]
+
+
+def _burst_loss_scenario(config: MesherConfig):
+    """3-node line, 60% loss burst over [200, 500), four 1200-byte
+    reliable sends end-to-end through the middle hop."""
+    net = MeshNetwork.from_positions(line_positions(3), config=config, seed=33)
+    plan = FaultPlan([BurstLoss(start=200.0, end=500.0, probability=0.6)])
+    FaultInjector(net, plan, seed=33).arm()
+    assert net.run_until_converged(timeout_s=1800.0) is not None
+    src, dst = net.nodes[0], net.nodes[-1]
+    payload = random.Random(1).randbytes(1200)
+    outcomes: list = []
+    for i in range(4):
+        net.sim.schedule(
+            150.0 + 40.0 * i,
+            lambda: src.send_reliable(
+                dst.address, payload, lambda ok, why: outcomes.append((ok, why))
+            ),
+            label=f"reliable send #{i}",
+        )
+    net.run(until=3600.0)
+    return net, outcomes
+
+
+def _transport_totals(net):
+    frames = net.total_frames_sent()
+    retrans = sum(n.reliable.retransmissions for n in net.nodes)
+    defers = sum(n.reliable.local_defers for n in net.nodes)
+    return frames, retrans, defers
+
+
+class TestGoldenFingerprint:
+    def test_disabled_backoff_matches_pre_change_schedule(self):
+        """base=1.0 + jitter=0 + adaptive_rto=False is bit-identical to
+        the fixed-timer transport this PR replaced."""
+        net, outcomes = _burst_loss_scenario(FIXED)
+        frames, retrans, _ = _transport_totals(net)
+        assert network_fingerprint(net)["digest"] == GOLDEN_DIGEST
+        assert frames == GOLDEN_FRAMES
+        assert retrans == GOLDEN_RETRANSMISSIONS
+        assert outcomes == GOLDEN_OUTCOMES
+
+    def test_adaptive_backoff_reduces_retransmissions(self):
+        """Same seed, same loss script: the default adaptive config must
+        retransmit less and deliver at least as many messages."""
+        fixed_net, fixed_outcomes = _burst_loss_scenario(FIXED)
+        adaptive_net, adaptive_outcomes = _burst_loss_scenario(FAST)
+        fixed_frames, fixed_retrans, _ = _transport_totals(fixed_net)
+        adaptive_frames, adaptive_retrans, _ = _transport_totals(adaptive_net)
+        assert adaptive_retrans < fixed_retrans
+        assert adaptive_frames < fixed_frames
+        delivered = sum(1 for ok, _ in adaptive_outcomes if ok)
+        assert delivered >= sum(1 for ok, _ in fixed_outcomes if ok)
+
+    def test_adaptive_run_is_deterministic(self):
+        """Jitter comes from hashed tokens, not a shared RNG stream, so
+        two identical runs agree frame-for-frame."""
+        net_a, out_a = _burst_loss_scenario(FAST)
+        net_b, out_b = _burst_loss_scenario(FAST)
+        assert network_fingerprint(net_a) == network_fingerprint(net_b)
+        assert out_a == out_b
+
+
+def _lone_transport(config: MesherConfig = None) -> ReliableTransport:
+    net = MeshNetwork.from_positions(line_positions(2), config=config or FAST, seed=1)
+    return net.nodes[0].reliable
+
+
+class TestBackoffSchedule:
+    def test_timeout_grows_exponentially(self):
+        transport = _lone_transport(FAST.replace(retry_jitter_fraction=0.0))
+        base = transport._config.ack_timeout_s
+        timeouts = [transport._retry_timeout_s(0x2, attempt, "t") for attempt in range(4)]
+        assert timeouts == [base, base * 2, base * 4, base * 8]
+
+    def test_timeout_respects_cap(self):
+        transport = _lone_transport(
+            FAST.replace(retry_jitter_fraction=0.0, retry_backoff_cap_s=30.0)
+        )
+        assert transport._retry_timeout_s(0x2, 30, "t") == 30.0
+
+    def test_cap_never_cuts_below_base_timeout(self):
+        """A cap below ``ack_timeout_s`` is clamped up: backoff may only
+        lengthen the schedule, never shorten the first retry."""
+        transport = _lone_transport(
+            FAST.replace(retry_jitter_fraction=0.0, retry_backoff_cap_s=1.0)
+        )
+        base = transport._config.ack_timeout_s
+        assert transport._retry_timeout_s(0x2, 30, "t") == base
+
+    def test_huge_attempt_count_does_not_overflow(self):
+        transport = _lone_transport(FAST.replace(retry_jitter_fraction=0.0))
+        assert transport._retry_timeout_s(0x2, 10_000, "t") == transport._config.retry_backoff_cap_s
+
+    def test_jitter_bounded_and_deterministic(self):
+        transport = _lone_transport(FAST.replace(retry_jitter_fraction=0.25))
+        base = transport._retry_timeout_s(0x2, 2, "tok")
+        again = transport._retry_timeout_s(0x2, 2, "tok")
+        assert base == again  # same token -> same draw
+        unjittered = transport._config.ack_timeout_s * 4
+        assert unjittered * 0.75 <= base <= unjittered * 1.25
+        other = transport._retry_timeout_s(0x2, 2, "different-token")
+        assert other != base  # tokens decorrelate the draws
+
+    def test_base_one_restores_fixed_timer(self):
+        transport = _lone_transport(FIXED)
+        for attempt in range(6):
+            assert transport._retry_timeout_s(0x2, attempt, "t") == transport._config.ack_timeout_s
+
+
+class TestRttEstimator:
+    def test_first_sample_initialises(self):
+        est = RttEstimator()
+        est.observe(2.0)
+        assert est.srtt == 2.0
+        assert est.rttvar == 1.0
+        assert est.rto() == 2.0 + 4.0 * 1.0
+
+    def test_smoothing_converges(self):
+        est = RttEstimator()
+        for _ in range(100):
+            est.observe(3.0)
+        assert est.srtt == pytest.approx(3.0, rel=1e-3)
+        assert est.rttvar == pytest.approx(0.0, abs=1e-2)
+
+    def test_transport_applies_karns_rule(self):
+        """A retransmitted exchange must not feed the estimator: its ACK
+        is ambiguous between the first and second transmission."""
+        net = MeshNetwork.from_positions(line_positions(3), config=FAST, seed=7)
+        net.run_until_converged(timeout_s=600.0)
+        src, dst = net.nodes[0], net.nodes[2]
+        src.send_reliable(dst.address, b"sample", None)
+        net.run(for_s=120.0)
+        transport = src.reliable
+        assert transport.rtt_samples >= 1
+        assert transport.srtt_s(dst.address) is not None
+        # Adaptive RTO is bounded: never below the floor, never above
+        # the configured fixed timeout.
+        rto = transport.rto_s(dst.address)
+        assert ReliableTransport.MIN_RTO_S <= rto <= transport._config.ack_timeout_s
+
+    def test_rto_defaults_to_fixed_timeout_without_samples(self):
+        transport = _lone_transport()
+        assert transport.rto_s(0x9999) == transport._config.ack_timeout_s

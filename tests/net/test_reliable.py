@@ -125,7 +125,9 @@ class TestSinglePackets:
         wire.loss_rate = 1.0  # nothing gets through
         outcome = []
         transports[A].send(B, b"doomed", lambda ok, why: outcome.append((ok, why)))
-        sim.run(until=100.0)
+        # Backed-off retries wait 3+6+12+24+48+96 s (±25% jitter) before
+        # the budget runs out, so give the failure room to land.
+        sim.run(until=400.0)
         assert outcome == [(False, "ack timeout")]
         assert transports[A].singles_failed == 1
         assert received[B] == []

@@ -15,6 +15,7 @@ from repro.obs.store import (
     KIND_MARKER,
     KIND_ROUTE,
     KIND_SAMPLE,
+    KIND_STREAM,
     EventStore,
     StoreRecorder,
 )
@@ -218,6 +219,41 @@ class TestStoreRecorder:
         assert counts[KIND_MARKER] == 2  # started + finished
         assert store.meta()["finished"] is True
         assert {n["address"] for n in store.nodes()} == set(net.addresses)
+        store.close()
+
+    def test_records_stream_events(self, tmp_path):
+        """A StreamManager present at attach time (or watched later) has
+        its lifecycle/delivery events recorded as KIND_STREAM rows."""
+        from repro.net.stream import StreamManager
+
+        net = MeshNetwork.from_positions(LINE4, config=CONFIG, seed=1)
+        assert net.run_until_converged(timeout_s=1200.0) is not None
+        a, b = net.nodes[0], net.nodes[1]
+        manager_a = StreamManager(a)  # exists before attach: auto-tapped
+        store = EventStore(tmp_path / "run.db")
+        recorder = StoreRecorder(store, net, frames=False).attach()
+        manager_b = StreamManager(b)  # created after attach
+        recorder.watch_stream_manager(manager_b)
+        received = []
+        manager_b.on_accept = lambda s: s.__setattr__(
+            "on_message", lambda _s, body: received.append(body)
+        )
+        stream = manager_a.open(b.address)
+        net.run(for_s=60.0)
+        stream.send(b"payload-0")
+        stream.send(b"payload-1")
+        stream.close()
+        net.run(for_s=300.0)
+        recorder.detach()
+        assert received == [b"payload-0", b"payload-1"]
+        events = store.events(kind=KIND_STREAM)
+        kinds = [e.data["event"] for e in events]
+        assert "open" in kinds and "accept" in kinds
+        assert kinds.count("deliver") == 2
+        assert kinds.count("close") == 2  # both endpoints
+        deliveries = [e for e in events if e.data["event"] == "deliver"]
+        assert [e.data["seq"] for e in deliveries] == [0, 1]
+        assert all(e.node == b.address for e in deliveries)
         store.close()
 
     def test_frames_off_skips_transmissions(self, tmp_path):

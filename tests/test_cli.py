@@ -111,6 +111,68 @@ class TestPingCommand:
 
 
 class TestCaptureFlag:
+    def test_simulate_workload_reports_percentiles(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--nodes", "9",
+                "--topology", "grid",
+                "--spacing", "100",
+                "--duration", "2400",
+                "--hello-period", "30",
+                "--route-timeout", "120",
+                "--workload", "mixed",
+                "--flows", "12",
+                "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload mixed: 12 flows" in out
+        assert "delivery ratio" in out
+        for kind in ("bursty", "ota", "chat", "all"):
+            assert kind in out
+        assert "p95 (s)" in out and "goodput p50 (bps)" in out
+
+    def test_simulate_workload_stores_stream_rows(self, capsys, tmp_path):
+        """--workload + --store must persist stream lifecycle rows even
+        though the flow engine's managers are created after the store
+        recorder attaches, and replay must render them."""
+        db = tmp_path / "run.db"
+        code = main(
+            [
+                "simulate",
+                "--nodes", "9",
+                "--topology", "grid",
+                "--spacing", "100",
+                "--duration", "2400",
+                "--hello-period", "30",
+                "--route-timeout", "120",
+                "--workload", "mixed",
+                "--flows", "12",
+                "--seed", "3",
+                "--store", str(db),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        from repro.obs.store import KIND_STREAM, EventStore
+
+        store = EventStore(db, mode="r")
+        rows = store.events(kind=KIND_STREAM)
+        store.close()
+        assert rows
+        events = {row.data["event"] for row in rows}
+        assert {"open", "accept", "deliver", "close"} <= events
+        code = main(["replay", "--store", str(db), "--kind", "stream", "--limit", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stream open" in out
+
+    def test_simulate_rejects_bad_workload_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--workload", "torrent"])
+
     def test_simulate_writes_capture(self, capsys, tmp_path):
         path = tmp_path / "air.jsonl"
         code = main(
